@@ -1,0 +1,72 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"oic/internal/mat"
+)
+
+// LQR computes the infinite-horizon discrete-time linear quadratic
+// regulator gain for x⁺ = A·x + B·u with stage cost xᵀQx + uᵀRu, by
+// iterating the Riccati difference equation to a fixed point:
+//
+//	P ← Q + Aᵀ·P·A − Aᵀ·P·B·(R + Bᵀ·P·B)⁻¹·Bᵀ·P·A.
+//
+// It returns K with u = K·x (note the sign: K already includes the minus),
+// i.e. K = −(R + BᵀPB)⁻¹·BᵀPA. The iteration converges for stabilizable
+// (A, B) with Q ⪰ 0, R ≻ 0.
+func LQR(a, b, q, r *mat.Mat, maxIter int, tol float64) (*mat.Mat, error) {
+	n, m := a.R, b.C
+	if a.C != n || b.R != n || q.R != n || q.C != n || r.R != m || r.C != m {
+		return nil, errors.New("controller: LQR: dimension mismatch")
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	p := q.Clone()
+	at := a.T()
+	bt := b.T()
+	for iter := 0; iter < maxIter; iter++ {
+		btp := bt.Mul(p)
+		gram := r.Add(btp.Mul(b)) // R + BᵀPB
+		ginv, err := mat.Inverse(gram)
+		if err != nil {
+			return nil, fmt.Errorf("controller: LQR: R + BᵀPB singular: %w", err)
+		}
+		// P' = Q + AᵀPA − AᵀPB·(R+BᵀPB)⁻¹·BᵀPA
+		atp := at.Mul(p)
+		next := q.Add(atp.Mul(a)).Sub(atp.Mul(b).Mul(ginv).Mul(btp.Mul(a)))
+		if next.Equal(p, tol) {
+			k := ginv.Mul(bt.Mul(next).Mul(a)).Scale(-1)
+			return k, nil
+		}
+		p = next
+	}
+	return nil, errors.New("controller: LQR: Riccati iteration did not converge (is (A,B) stabilizable?)")
+}
+
+// SpectralRadius estimates the spectral radius of m via Gelfand's formula
+// ρ(m) = lim ‖m^k‖^(1/k), using the max-row-sum norm at k = order. Useful
+// for asserting closed-loop stability in tests and set computations.
+func SpectralRadius(m *mat.Mat, order int) float64 {
+	if order <= 0 {
+		order = 64
+	}
+	p := mat.Pow(m, order)
+	norm := 0.0
+	for i := 0; i < p.R; i++ {
+		s := p.Row(i).Norm1()
+		if s > norm {
+			norm = s
+		}
+	}
+	if norm == 0 {
+		return 0
+	}
+	return math.Pow(norm, 1/float64(order))
+}

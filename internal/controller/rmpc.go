@@ -1,0 +1,366 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"oic/internal/lp"
+	"oic/internal/lti"
+	"oic/internal/mat"
+	"oic/internal/poly"
+	"oic/internal/reach"
+)
+
+// RMPCConfig parameterizes the tube-based robust MPC of Eq. 5 in the paper
+// (after Chisci, Rossiter, Zappa 2001): a nominal prediction model with
+// recursively tightened constraints X(k) = X(k−1) ⊖ A^{k−1}·W and a robust
+// invariant terminal set.
+type RMPCConfig struct {
+	Horizon     int     // prediction horizon N (paper: 10)
+	StateWeight float64 // P in the 1-norm stage cost P‖x−XRef‖₁
+	InputWeight float64 // Q in the 1-norm stage cost Q‖u−URef‖₁
+
+	// XRef/URef shift the stage cost so tracking a nonzero equilibrium is
+	// expressible in physical coordinates; nil means the origin (the
+	// paper's shifted coordinates).
+	XRef mat.Vec
+	URef mat.Vec
+
+	// TerminalSet overrides the terminal constraint Xt. When nil it is
+	// computed as the maximal robust invariant subset of X(N) under the
+	// affine feedback with LocalGain.
+	TerminalSet *poly.Polytope
+	// LocalGain is the terminal local controller κL's gain; nil means an
+	// LQR gain with identity weights.
+	LocalGain *mat.Mat
+}
+
+// RMPC is the robust model predictive controller κR. Its 1-norm objective
+// makes every Compute call a linear program solved by the internal simplex.
+// RMPC is not safe for concurrent use.
+type RMPC struct {
+	sys *lti.System
+	cfg RMPCConfig
+
+	tightened []*poly.Polytope // X(0) … X(N)
+	terminal  *poly.Polytope   // Xt ⊆ X(N)
+	apow      []*mat.Mat       // A^0 … A^N
+	drift     []mat.Vec        // d_k = Σ_{i<k} A^i·c
+	gain      *mat.Mat         // local gain used for the terminal set
+
+	feasible *poly.Polytope // lazily computed feasible region (Prop. 1)
+}
+
+// NewRMPC constructs the controller, precomputing tightened constraint
+// sets, the terminal set, and the nominal prediction matrices. sys must
+// have X, U, and W constraint sets.
+func NewRMPC(sys *lti.System, cfg RMPCConfig) (*RMPC, error) {
+	if sys.X == nil || sys.U == nil || sys.W == nil {
+		return nil, errors.New("controller: NewRMPC: system must have X, U, and W sets")
+	}
+	if cfg.Horizon < 1 {
+		return nil, fmt.Errorf("controller: NewRMPC: horizon %d < 1", cfg.Horizon)
+	}
+	if cfg.StateWeight < 0 || cfg.InputWeight < 0 {
+		return nil, errors.New("controller: NewRMPC: negative cost weight")
+	}
+	if cfg.XRef == nil {
+		cfg.XRef = make(mat.Vec, sys.NX())
+	}
+	if cfg.URef == nil {
+		cfg.URef = make(mat.Vec, sys.NU())
+	}
+	n := cfg.Horizon
+
+	r := &RMPC{sys: sys, cfg: cfg}
+
+	// Powers of A and accumulated drift d_k = Σ_{i<k} A^i c.
+	r.apow = make([]*mat.Mat, n+1)
+	r.drift = make([]mat.Vec, n+1)
+	r.apow[0] = mat.Identity(sys.NX())
+	r.drift[0] = make(mat.Vec, sys.NX())
+	for k := 1; k <= n; k++ {
+		r.apow[k] = r.apow[k-1].Mul(sys.A)
+		r.drift[k] = r.apow[k-1].MulVec(sys.C).Add(r.drift[k-1])
+	}
+
+	// Tightened constraints per the paper's recursion:
+	// X(0) = X, X(k) = X(k−1) ⊖ A^{k−1}·W.
+	r.tightened = make([]*poly.Polytope, n+1)
+	r.tightened[0] = sys.X.ReduceRedundancy()
+	for k := 1; k <= n; k++ {
+		tk, err := poly.ErodeMapped(r.tightened[k-1], r.apow[k-1], sys.W)
+		if err != nil {
+			return nil, fmt.Errorf("controller: NewRMPC: tightening step %d: %w", k, err)
+		}
+		if tk.IsEmpty() {
+			return nil, fmt.Errorf("controller: NewRMPC: tightened set X(%d) is empty; disturbance too large for horizon %d", k, n)
+		}
+		r.tightened[k] = tk
+	}
+
+	// Terminal set.
+	if cfg.TerminalSet != nil {
+		r.terminal = cfg.TerminalSet
+	} else {
+		gain := cfg.LocalGain
+		if gain == nil {
+			var err error
+			gain, err = LQR(sys.A, sys.B, mat.Identity(sys.NX()), mat.Identity(sys.NU()), 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("controller: NewRMPC: terminal LQR synthesis: %w", err)
+			}
+		}
+		r.gain = gain
+		term, err := r.computeTerminalSet(gain)
+		if err != nil {
+			return nil, err
+		}
+		r.terminal = term
+	}
+	if r.terminal.IsEmpty() {
+		return nil, errors.New("controller: NewRMPC: terminal set is empty")
+	}
+	return r, nil
+}
+
+// computeTerminalSet returns the maximal robust invariant subset of X(N)
+// where the local affine feedback u = gain·(x−XRef) + URef is admissible:
+// the standard choice satisfying the stability premise of Proposition 1.
+func (r *RMPC) computeTerminalSet(gain *mat.Mat) (*poly.Polytope, error) {
+	sys := r.sys
+	// Input-admissibility of the local law as state constraints:
+	// H_U·(K(x−xref)+uref) ≤ h_U  ⇔  (H_U·K)·x ≤ h_U − H_U·(uref − K·xref).
+	off := r.cfg.URef.Sub(gain.MulVec(r.cfg.XRef))
+	ha := sys.U.A.Mul(gain)
+	hb := sys.U.B.Sub(sys.U.A.MulVec(off))
+	admissible := poly.New(ha, hb)
+
+	domain := poly.Intersect(r.tightened[r.cfg.Horizon], admissible).ReduceRedundancy()
+	if domain.IsEmpty() {
+		return nil, errors.New("controller: NewRMPC: no input-admissible terminal region")
+	}
+	acl, ccl := sys.ClosedLoop(gain, r.cfg.XRef, r.cfg.URef)
+	term, err := reach.MaximalInvariantSet(domain, acl, ccl, sys.W, reach.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("controller: NewRMPC: terminal invariant set: %w", err)
+	}
+	return term, nil
+}
+
+// Name implements Controller.
+func (r *RMPC) Name() string { return "rmpc" }
+
+// Horizon returns the prediction horizon N.
+func (r *RMPC) Horizon() int { return r.cfg.Horizon }
+
+// TightenedSets returns X(0)…X(N) (shared slices; do not mutate).
+func (r *RMPC) TightenedSets() []*poly.Polytope { return r.tightened }
+
+// TerminalSet returns Xt.
+func (r *RMPC) TerminalSet() *poly.Polytope { return r.terminal }
+
+// Compute implements Controller: it solves the horizon LP and returns the
+// first planned input u*(0|t).
+func (r *RMPC) Compute(x mat.Vec) (mat.Vec, error) {
+	seq, err := r.ComputeSequence(x)
+	if err != nil {
+		return nil, err
+	}
+	return seq[0], nil
+}
+
+// ComputeSequence solves the horizon optimization (Eq. 5) and returns the
+// full planned input sequence u*(0|t) … u*(N−1|t).
+func (r *RMPC) ComputeSequence(x mat.Vec) ([]mat.Vec, error) {
+	sys := r.sys
+	nx, nu, n := sys.NX(), sys.NU(), r.cfg.Horizon
+	if len(x) != nx {
+		panic(fmt.Sprintf("controller: RMPC.Compute: state dim %d, want %d", len(x), nx))
+	}
+	if !r.tightened[0].Contains(x, 1e-7) {
+		return nil, fmt.Errorf("%w: state outside X(0)", ErrInfeasible)
+	}
+
+	// Variable layout: u(0..N−1) | ax(1..N−1) | au(0..N−1).
+	uOff := 0
+	axOff := n * nu
+	auOff := axOff + (n-1)*nx
+	nvars := auOff + n*nu
+
+	prob := lp.NewProblem(nvars)
+	obj := make([]float64, nvars)
+	for k := 1; k < n; k++ {
+		for i := 0; i < nx; i++ {
+			obj[axOff+(k-1)*nx+i] = r.cfg.StateWeight
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < nu; i++ {
+			obj[auOff+k*nu+i] = r.cfg.InputWeight
+		}
+	}
+	prob.SetObjective(obj)
+	for j := axOff; j < nvars; j++ {
+		prob.SetBounds(j, 0, math.Inf(1))
+	}
+
+	// xTerm(k) = A^k·x + d_k, the input-independent part of the prediction.
+	xterm := make([]mat.Vec, n+1)
+	for k := 0; k <= n; k++ {
+		xterm[k] = r.apow[k].MulVec(x).Add(r.drift[k])
+	}
+	// coef(k, j) = A^{k−1−j}·B, the sensitivity of x(k) to u(j), j < k.
+	coef := func(k, j int) *mat.Mat { return r.apow[k-1-j].Mul(sys.B) }
+
+	addStateRows := func(k int, set *poly.Polytope) {
+		for row := 0; row < set.A.R; row++ {
+			h := set.A.Row(row)
+			coeffs := make([]float64, nvars)
+			for j := 0; j < k; j++ {
+				cb := coef(k, j)
+				for c := 0; c < nu; c++ {
+					s := 0.0
+					for i := 0; i < nx; i++ {
+						s += h[i] * cb.At(i, c)
+					}
+					coeffs[uOff+j*nu+c] = s
+				}
+			}
+			prob.AddConstraint(coeffs, lp.LE, set.B[row]-h.Dot(xterm[k]))
+		}
+	}
+	for k := 1; k < n; k++ {
+		addStateRows(k, r.tightened[k])
+	}
+	addStateRows(n, r.terminal)
+
+	// Input constraints H_U·u(k) ≤ h_U.
+	for k := 0; k < n; k++ {
+		for row := 0; row < sys.U.A.R; row++ {
+			coeffs := make([]float64, nvars)
+			for c := 0; c < nu; c++ {
+				coeffs[uOff+k*nu+c] = sys.U.A.At(row, c)
+			}
+			prob.AddConstraint(coeffs, lp.LE, sys.U.B[row])
+		}
+	}
+
+	// |x(k) − XRef| ≤ ax(k) componentwise, k = 1..N−1.
+	for k := 1; k < n; k++ {
+		for i := 0; i < nx; i++ {
+			for _, sign := range []float64{1, -1} {
+				coeffs := make([]float64, nvars)
+				for j := 0; j < k; j++ {
+					cb := coef(k, j)
+					for c := 0; c < nu; c++ {
+						coeffs[uOff+j*nu+c] = sign * cb.At(i, c)
+					}
+				}
+				coeffs[axOff+(k-1)*nx+i] = -1
+				rhs := sign * (r.cfg.XRef[i] - xterm[k][i])
+				prob.AddConstraint(coeffs, lp.LE, rhs)
+			}
+		}
+	}
+	// |u(k) − URef| ≤ au(k) componentwise.
+	for k := 0; k < n; k++ {
+		for c := 0; c < nu; c++ {
+			for _, sign := range []float64{1, -1} {
+				coeffs := make([]float64, nvars)
+				coeffs[uOff+k*nu+c] = sign
+				coeffs[auOff+k*nu+c] = -1
+				prob.AddConstraint(coeffs, lp.LE, sign*r.cfg.URef[c])
+			}
+		}
+	}
+
+	sol := prob.Solve()
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("%w: LP status %v", ErrInfeasible, sol.Status)
+	}
+	seq := make([]mat.Vec, n)
+	for k := 0; k < n; k++ {
+		u := make(mat.Vec, nu)
+		copy(u, sol.X[uOff+k*nu:uOff+(k+1)*nu])
+		seq[k] = u
+	}
+	return seq, nil
+}
+
+// FeasibleSet returns the feasible region X_F of the horizon optimization
+// projected onto the state (Proposition 1: X_F is the robust control
+// invariant set XI of the RMPC). The result is cached.
+func (r *RMPC) FeasibleSet() (*poly.Polytope, error) {
+	if r.feasible != nil {
+		return r.feasible, nil
+	}
+	sys := r.sys
+	nx, nu, n := sys.NX(), sys.NU(), r.cfg.Horizon
+	nvars := nx + n*nu // (x0, u(0..N−1)); aux cost variables do not bind
+
+	var rows []mat.Vec
+	var rhs []float64
+	add := func(c mat.Vec, b float64) {
+		rows = append(rows, c)
+		rhs = append(rhs, b)
+	}
+
+	// x0 ∈ X(0).
+	for row := 0; row < r.tightened[0].A.R; row++ {
+		c := make(mat.Vec, nvars)
+		copy(c[:nx], r.tightened[0].A.Row(row))
+		add(c, r.tightened[0].B[row])
+	}
+	// State constraints: H·(A^k·x0 + Σ A^{k−1−j}B·u(j) + d_k) ≤ h.
+	state := func(k int, set *poly.Polytope) {
+		ha := set.A.Mul(r.apow[k])
+		for row := 0; row < set.A.R; row++ {
+			c := make(mat.Vec, nvars)
+			for i := 0; i < nx; i++ {
+				c[i] = ha.At(row, i)
+			}
+			h := set.A.Row(row)
+			for j := 0; j < k; j++ {
+				cb := r.apow[k-1-j].Mul(sys.B)
+				for col := 0; col < nu; col++ {
+					s := 0.0
+					for i := 0; i < nx; i++ {
+						s += h[i] * cb.At(i, col)
+					}
+					c[nx+j*nu+col] = s
+				}
+			}
+			add(c, set.B[row]-h.Dot(r.drift[k]))
+		}
+	}
+	for k := 1; k < n; k++ {
+		state(k, r.tightened[k])
+	}
+	state(n, r.terminal)
+	// Input constraints.
+	for k := 0; k < n; k++ {
+		for row := 0; row < sys.U.A.R; row++ {
+			c := make(mat.Vec, nvars)
+			for col := 0; col < nu; col++ {
+				c[nx+k*nu+col] = sys.U.A.At(row, col)
+			}
+			add(c, sys.U.B[row])
+		}
+	}
+
+	a := mat.New(len(rows), nvars)
+	for i, rrow := range rows {
+		for j := 0; j < nvars; j++ {
+			a.Set(i, j, rrow[j])
+		}
+	}
+	joint := poly.New(a, rhs)
+	keep := make([]int, nx)
+	for j := range keep {
+		keep[j] = j
+	}
+	r.feasible = joint.Project(keep).ReduceRedundancy()
+	return r.feasible, nil
+}

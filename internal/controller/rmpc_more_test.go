@@ -1,0 +1,109 @@
+package controller
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oic/internal/lti"
+	"oic/internal/mat"
+	"oic/internal/poly"
+)
+
+// paperVerbatimSystem is the paper's Eq. 1 form: zero drift, origin-centred
+// sets (the shifted ACC coordinates).
+func paperVerbatimSystem() *lti.System {
+	a := mat.FromRows([][]float64{{1, -0.1}, {0, 0.98}})
+	b := mat.FromRows([][]float64{{0}, {0.1}})
+	return lti.NewSystem(a, b).WithConstraints(
+		poly.Box([]float64{-30, -15}, []float64{30, 15}),
+		poly.Box([]float64{-48}, []float64{32}),
+		poly.Box([]float64{-1, 0}, []float64{1, 0}),
+	)
+}
+
+func TestRMPCZeroDriftShiftedCoordinates(t *testing.T) {
+	sys := paperVerbatimSystem()
+	r, err := NewRMPC(sys, RMPCConfig{Horizon: 10, StateWeight: 1, InputWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the origin the optimal plan applies (near) zero input.
+	u, err := r.Compute(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u[0]) > 0.5 {
+		t.Errorf("u at origin = %v, want ≈ 0", u[0])
+	}
+	// The shifted-coordinate feasible set must contain the origin.
+	feas, err := r.FeasibleSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feas.Contains(mat.Vec{0, 0}, 1e-9) {
+		t.Error("origin outside feasible set")
+	}
+}
+
+func TestRMPCTerminalSetOverride(t *testing.T) {
+	sys := paperVerbatimSystem()
+	custom := poly.Box([]float64{-1, -1}, []float64{1, 1})
+	r, err := NewRMPC(sys, RMPCConfig{Horizon: 5, StateWeight: 1, InputWeight: 1, TerminalSet: custom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TerminalSet() != custom {
+		t.Error("terminal set override ignored")
+	}
+}
+
+// The planned nominal trajectory must satisfy the tightened constraints:
+// roll the plan through the disturbance-free dynamics and check.
+func TestRMPCPlanSatisfiesTightenedConstraints(t *testing.T) {
+	sys := paperVerbatimSystem()
+	r, err := NewRMPC(sys, RMPCConfig{Horizon: 10, StateWeight: 1, InputWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	feas, err := r.FeasibleSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := feas.Sample(10, rng.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := r.TightenedSets()
+	for _, x0 := range pts {
+		seq, err := r.ComputeSequence(x0)
+		if err != nil {
+			t.Fatalf("infeasible inside feasible set at %v: %v", x0, err)
+		}
+		x := x0.Clone()
+		for k, u := range seq {
+			x = sys.Step(x, u, nil)
+			idx := k + 1
+			set := r.TerminalSet() // the horizon end is bound by Xt
+			if idx < len(tight)-1 {
+				set = tight[idx]
+			}
+			if v := set.Violation(x); v > 1e-6 {
+				t.Fatalf("plan from %v violates constraint at step %d by %v", x0, idx, v)
+			}
+		}
+	}
+}
+
+func TestEquilibriumInputToleranceParameter(t *testing.T) {
+	sys := paperVerbatimSystem()
+	// The origin is an equilibrium with u = 0 for the shifted system.
+	u, err := EquilibriumInput(sys, mat.Vec{0, 0}, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u[0]) > 1e-10 {
+		t.Errorf("u = %v", u)
+	}
+}

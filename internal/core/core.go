@@ -1,0 +1,369 @@
+// Package core implements the paper's primary contribution: the online
+// opportunistic intermittent-control framework (Algorithm 1).
+//
+// The framework wraps an existing safe controller κ. At every control step
+// it monitors the measured state against the strengthened safe set X′:
+//
+//   - x(t) ∈ X′ — safety is guaranteed for either choice, so a pluggable
+//     skipping policy Ω (bang-bang, model-based MIP, or DRL) freely decides
+//     whether to run κ (z = 1) or to skip computation and actuation
+//     entirely (z = 0, zero input);
+//   - x(t) ∉ X′ — the monitor forces z = 1 and κ is applied.
+//
+// Theorem 1 of the paper: with X′ = B(XI, 0) ∩ XI built from the robust
+// control invariant set XI of κ, the closed loop never leaves XI — for any
+// policy Ω. The property test in core_test.go exercises exactly this with
+// adversarial random policies.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"oic/internal/controller"
+	"oic/internal/lti"
+	"oic/internal/mat"
+	"oic/internal/poly"
+	"oic/internal/reach"
+)
+
+// SafetySets bundles the three nested sets of the paper (Fig. 1):
+// X′ ⊆ XI ⊆ X.
+type SafetySets struct {
+	X      *poly.Polytope // original safe set
+	XI     *poly.Polytope // robust control invariant set of κ
+	XPrime *poly.Polytope // strengthened safe set B(XI,0) ∩ XI
+}
+
+// ComputeSafetySets derives X′ from a given robust control invariant set XI
+// (obtained from RMPC.FeasibleSet via Proposition 1, reach.MaximalRCI, or
+// reach.MRPI) and validates the nesting X′ ⊆ XI ⊆ X.
+func ComputeSafetySets(sys *lti.System, xi *poly.Polytope) (SafetySets, error) {
+	if sys.X == nil {
+		return SafetySets{}, errors.New("core: ComputeSafetySets: system has no safe set X")
+	}
+	if ok, err := sys.X.Covers(xi, 1e-6); err != nil || !ok {
+		return SafetySets{}, fmt.Errorf("core: ComputeSafetySets: XI ⊄ X (ok=%v err=%v)", ok, err)
+	}
+	xprime, err := reach.StrengthenedSafeSet(xi, sys)
+	if err != nil {
+		return SafetySets{}, err
+	}
+	if xprime.IsEmpty() {
+		return SafetySets{}, errors.New("core: ComputeSafetySets: strengthened safe set is empty; skipping is never admissible")
+	}
+	return SafetySets{X: sys.X, XI: xi, XPrime: xprime}, nil
+}
+
+// Level classifies a state against the nested safety sets.
+type Level int
+
+// Membership levels, from most to least permissive.
+const (
+	InXPrime Level = iota // skipping is admissible
+	InXI                  // controllable: κ must run
+	InX                   // safe now, but not guaranteed controllable
+	Unsafe                // outside the original safe set
+)
+
+func (l Level) String() string {
+	switch l {
+	case InXPrime:
+		return "X'"
+	case InXI:
+		return "XI"
+	case InX:
+		return "X"
+	case Unsafe:
+		return "unsafe"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Monitor performs the runtime membership checks of Algorithm 1 (line 4–9).
+type Monitor struct {
+	Sets SafetySets
+	Tol  float64 // membership tolerance, default 1e-9
+}
+
+// NewMonitor returns a monitor over the given sets.
+func NewMonitor(sets SafetySets) *Monitor { return &Monitor{Sets: sets, Tol: 1e-9} }
+
+// Level returns the tightest set containing x.
+func (m *Monitor) Level(x mat.Vec) Level {
+	switch {
+	case m.Sets.XPrime.Contains(x, m.Tol):
+		return InXPrime
+	case m.Sets.XI.Contains(x, m.Tol):
+		return InXI
+	case m.Sets.X.Contains(x, m.Tol):
+		return InX
+	default:
+		return Unsafe
+	}
+}
+
+// SkipPolicy is the decision function Ω: given the time step, the state,
+// and the recent observed disturbances (most recent last), it returns true
+// to run the controller (z = 1) or false to skip (z = 0). It is consulted
+// only when the monitor has established x ∈ X′.
+type SkipPolicy interface {
+	Decide(t int, x mat.Vec, wRecent []mat.Vec) bool
+	Name() string
+}
+
+// AlwaysRun runs κ at every step: the traditional baseline ("RMPC only" in
+// the paper's experiments).
+type AlwaysRun struct{}
+
+// Decide implements SkipPolicy.
+func (AlwaysRun) Decide(int, mat.Vec, []mat.Vec) bool { return true }
+
+// Name implements SkipPolicy.
+func (AlwaysRun) Name() string { return "always-run" }
+
+// BangBang skips whenever the monitor permits it (Eq. 7): zero input inside
+// X′, κ otherwise. The monitor supplies the "otherwise" branch, so the
+// policy itself never requests κ.
+type BangBang struct{}
+
+// Decide implements SkipPolicy.
+func (BangBang) Decide(int, mat.Vec, []mat.Vec) bool { return false }
+
+// Name implements SkipPolicy.
+func (BangBang) Name() string { return "bang-bang" }
+
+// PolicyFunc adapts a plain function (e.g. a trained DQN's greedy action)
+// into a SkipPolicy.
+type PolicyFunc struct {
+	Fn    func(t int, x mat.Vec, wRecent []mat.Vec) bool
+	Label string
+}
+
+// Decide implements SkipPolicy.
+func (p PolicyFunc) Decide(t int, x mat.Vec, w []mat.Vec) bool { return p.Fn(t, x, w) }
+
+// Name implements SkipPolicy.
+func (p PolicyFunc) Name() string { return p.Label }
+
+// StepRecord documents one executed control step.
+type StepRecord struct {
+	T      int
+	X      mat.Vec // state at decision time
+	Level  Level   // monitor classification of X
+	Ran    bool    // effective z(t): true means κ was computed and applied
+	Forced bool    // true when the monitor overrode the policy (x ∉ X′)
+	U      mat.Vec // applied input (zero vector when skipped)
+	W      mat.Vec // disturbance realized during the step
+	Next   mat.Vec // successor state
+}
+
+// Result aggregates a framework run.
+type Result struct {
+	Records []StepRecord
+
+	Energy          float64 // Σ‖u(t)‖₁ (Problem 1's objective)
+	Skips           int     // steps with z = 0
+	Runs            int     // steps with z = 1
+	Forced          int     // runs forced by the monitor
+	ViolationsX     int     // states outside X (Theorem 1: must be 0)
+	ViolationsXI    int     // states outside XI (Theorem 1: must be 0)
+	ControllerCalls int
+
+	CtrlTime     time.Duration // wall time inside κ.Compute
+	OverheadTime time.Duration // wall time inside monitor + policy
+}
+
+// SkipRate returns the fraction of steps that skipped the controller.
+func (r *Result) SkipRate() float64 {
+	n := r.Skips + r.Runs
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Skips) / float64(n)
+}
+
+// Trajectory reassembles the state/input/disturbance sequences.
+func (r *Result) Trajectory() *lti.Trajectory {
+	tr := &lti.Trajectory{}
+	for i, rec := range r.Records {
+		if i == 0 {
+			tr.States = append(tr.States, rec.X)
+		}
+		tr.Inputs = append(tr.Inputs, rec.U)
+		tr.Dists = append(tr.Dists, rec.W)
+		tr.States = append(tr.States, rec.Next)
+	}
+	return tr
+}
+
+// Framework is the online opportunistic intermittent-control loop.
+type Framework struct {
+	Sys     *lti.System
+	Kappa   controller.Controller
+	Sets    SafetySets
+	Policy  SkipPolicy
+	WMemory int // r: how many recent disturbances the policy sees (≥ 0)
+
+	monitor *Monitor
+}
+
+// NewFramework validates and assembles the framework. WMemory defaults to 1
+// (the paper's r = 1).
+func NewFramework(sys *lti.System, kappa controller.Controller, sets SafetySets, policy SkipPolicy, wMemory int) (*Framework, error) {
+	if sys == nil || kappa == nil || policy == nil {
+		return nil, errors.New("core: NewFramework: nil component")
+	}
+	if sets.X == nil || sets.XI == nil || sets.XPrime == nil {
+		return nil, errors.New("core: NewFramework: incomplete safety sets")
+	}
+	if wMemory < 0 {
+		return nil, errors.New("core: NewFramework: negative disturbance memory")
+	}
+	if wMemory == 0 {
+		wMemory = 1
+	}
+	return &Framework{
+		Sys: sys, Kappa: kappa, Sets: sets, Policy: policy, WMemory: wMemory,
+		monitor: NewMonitor(sets),
+	}, nil
+}
+
+// Monitor exposes the framework's runtime monitor.
+func (f *Framework) Monitor() *Monitor { return f.monitor }
+
+// Session is an in-flight run of Algorithm 1 that external simulators can
+// drive step by step (the traffic simulator and the DRL trainer both do).
+type Session struct {
+	f      *Framework
+	x      mat.Vec
+	t      int
+	wHist  []mat.Vec
+	Result *Result
+}
+
+// NewSession starts a run at x0, which must lie inside XI (Algorithm 1,
+// line 2).
+func (f *Framework) NewSession(x0 mat.Vec) (*Session, error) {
+	if !f.Sets.XI.Contains(x0, 1e-9) {
+		return nil, fmt.Errorf("core: NewSession: initial state %v outside XI", x0)
+	}
+	wh := make([]mat.Vec, f.WMemory)
+	for i := range wh {
+		wh[i] = make(mat.Vec, f.Sys.NX())
+	}
+	return &Session{f: f, x: x0.Clone(), wHist: wh, Result: &Result{}}, nil
+}
+
+// State returns the current state.
+func (s *Session) State() mat.Vec { return s.x.Clone() }
+
+// Time returns the number of completed steps.
+func (s *Session) Time() int { return s.t }
+
+// RecentW returns the last WMemory observed disturbances, most recent last.
+func (s *Session) RecentW() []mat.Vec {
+	out := make([]mat.Vec, len(s.wHist))
+	for i, w := range s.wHist {
+		out[i] = w.Clone()
+	}
+	return out
+}
+
+// Step executes one iteration of Algorithm 1 under the session policy,
+// realizing the disturbance w, and returns the step record.
+func (s *Session) Step(w mat.Vec) (StepRecord, error) {
+	return s.step(w, nil)
+}
+
+// StepWithChoice executes one iteration with an externally supplied
+// skipping choice (used by the DRL trainer during exploration). The monitor
+// still overrides the choice whenever x ∉ X′, so training can never break
+// safety.
+func (s *Session) StepWithChoice(w mat.Vec, run bool) (StepRecord, error) {
+	return s.step(w, &run)
+}
+
+func (s *Session) step(w mat.Vec, choice *bool) (StepRecord, error) {
+	f := s.f
+	res := s.Result
+
+	tMon := time.Now()
+	level := f.monitor.Level(s.x)
+	var run, forced bool
+	if level == InXPrime {
+		if choice != nil {
+			run = *choice
+		} else {
+			run = f.Policy.Decide(s.t, s.x, s.wHist)
+		}
+	} else {
+		run, forced = true, true // Algorithm 1, line 9
+	}
+	res.OverheadTime += time.Since(tMon)
+
+	u := make(mat.Vec, f.Sys.NU())
+	if run {
+		tCtl := time.Now()
+		uc, err := f.Kappa.Compute(s.x)
+		res.CtrlTime += time.Since(tCtl)
+		if err != nil {
+			return StepRecord{}, fmt.Errorf("core: Session.Step: κ failed at %v (level %v): %w", s.x, level, err)
+		}
+		u = uc
+		res.ControllerCalls++
+	}
+
+	next := f.Sys.Step(s.x, u, w)
+
+	rec := StepRecord{
+		T: s.t, X: s.x.Clone(), Level: level, Ran: run, Forced: forced,
+		U: u.Clone(), W: w.Clone(), Next: next.Clone(),
+	}
+	res.Records = append(res.Records, rec)
+	res.Energy += u.Norm1()
+	if run {
+		res.Runs++
+		if forced {
+			res.Forced++
+		}
+	} else {
+		res.Skips++
+	}
+	if !f.Sets.X.Contains(next, 1e-7) {
+		res.ViolationsX++
+	}
+	if !f.Sets.XI.Contains(next, 1e-7) {
+		res.ViolationsXI++
+	}
+
+	// Slide the disturbance window (most recent last).
+	copy(s.wHist, s.wHist[1:])
+	s.wHist[len(s.wHist)-1] = w.Clone()
+
+	s.x = next
+	s.t++
+	return rec, nil
+}
+
+// Run executes steps iterations of Algorithm 1 from x0 with disturbances
+// drawn from dist (nil means zero disturbance).
+func (f *Framework) Run(x0 mat.Vec, steps int, dist lti.Disturb) (*Result, error) {
+	sess, err := f.NewSession(x0)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < steps; t++ {
+		var w mat.Vec
+		if dist != nil {
+			w = dist(t)
+		} else {
+			w = make(mat.Vec, f.Sys.NX())
+		}
+		if _, err := sess.Step(w); err != nil {
+			return sess.Result, err
+		}
+	}
+	return sess.Result, nil
+}

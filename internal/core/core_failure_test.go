@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"oic/internal/mat"
+)
+
+// failingController always errors; the framework must surface the failure
+// with context rather than actuating garbage.
+type failingController struct{}
+
+func (failingController) Compute(mat.Vec) (mat.Vec, error) {
+	return nil, errors.New("actuator offline")
+}
+func (failingController) Name() string { return "failing" }
+
+func TestSessionSurfacesControllerError(t *testing.T) {
+	sys, _, sets := testRig(t)
+	f, err := NewFramework(sys, failingController{}, sets, AlwaysRun{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.NewSession(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Step(mat.Vec{0, 0})
+	if err == nil {
+		t.Fatal("controller failure swallowed")
+	}
+	if !strings.Contains(err.Error(), "actuator offline") {
+		t.Errorf("error lost cause: %v", err)
+	}
+}
+
+func TestSkipPathDoesNotTouchController(t *testing.T) {
+	// With a policy that always skips, a failing κ must never be invoked
+	// while the state stays within X'.
+	sys, _, sets := testRig(t)
+	f, err := NewFramework(sys, failingController{}, sets, BangBang{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.NewSession(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The undisturbed double integrator stays at the origin under u = 0.
+	for i := 0; i < 10; i++ {
+		rec, err := sess.Step(mat.Vec{0, 0})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if rec.Ran {
+			t.Fatalf("step %d ran the controller on the skip path", i)
+		}
+	}
+	if sess.Result.ControllerCalls != 0 {
+		t.Errorf("controller calls = %d", sess.Result.ControllerCalls)
+	}
+}
+
+func TestMonitorTolerance(t *testing.T) {
+	_, _, sets := testRig(t)
+	m := NewMonitor(sets)
+	// A point epsilon outside X' must classify as the next level out, and
+	// widening the tolerance must pull it back in.
+	lo, hi, err := sets.XPrime.BoundingBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lo
+	probe := mat.Vec{hi[0] + 1e-6, 0}
+	if m.Level(probe) == InXPrime {
+		t.Skip("probe still inside X' (non-box boundary); tolerance probe inconclusive")
+	}
+	// Widening the tolerance beyond the probe's actual violation must pull
+	// it back into X'.
+	m.Tol = sets.XPrime.Violation(probe) + 1e-9
+	if m.Level(probe) != InXPrime {
+		t.Errorf("tolerance not honored")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lv, want := range map[Level]string{
+		InXPrime: "X'", InXI: "XI", InX: "X", Unsafe: "unsafe",
+	} {
+		if lv.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(lv), lv.String(), want)
+		}
+	}
+}
+
+func TestSkipRate(t *testing.T) {
+	r := &Result{Skips: 3, Runs: 1}
+	if got := r.SkipRate(); got != 0.75 {
+		t.Errorf("SkipRate = %v", got)
+	}
+	if got := (&Result{}).SkipRate(); got != 0 {
+		t.Errorf("empty SkipRate = %v", got)
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"oic/internal/controller"
+	"oic/internal/lp"
+	"oic/internal/mat"
+	"oic/internal/mip"
+	"oic/internal/poly"
+)
+
+// ModelBasedPolicy is the paper's model-based skipping decision function
+// (Eq. 6): when the underlying controller κ has an analytic (affine) form
+// and the disturbance w(t) is known ahead of time, the skipping choices
+// over a horizon H are optimized by a mixed-integer program minimizing
+// Σ‖u(k)‖₁ subject to
+//
+//	x(k+1) = A·x(k) + B·u(k) + c + w(t+k),
+//	x(k+1) ∈ X′,  u(k) ∈ U,
+//	u(k) = z(k)·κ(x(k)),  z(k) ∈ {0, 1},
+//
+// and applies the first decision z*(0|t) (receding horizon, like MPC but
+// without a terminal constraint — Remark 1).
+//
+// The product z(k)·κ(x(k)) is linearized exactly with big-M constraints:
+// |u(k) − κ(x(k))| ≤ M(1−z(k)) and |u(k)| ≤ M·z(k).
+type ModelBasedPolicy struct {
+	Sys     SysModel
+	Kappa   *controller.AffineFeedback
+	XPrime  *poly.Polytope
+	U       *poly.Polytope
+	Horizon int
+	// KnownW returns the disturbance that will act at absolute time step t.
+	KnownW func(t int) mat.Vec
+	// BigM bounds |u| and |u − κ(x)| over the admissible region; 0 means
+	// it is derived from U with a safety factor.
+	BigM float64
+	// MaxNodes caps branch-and-bound work per decision (0 = solver default).
+	MaxNodes int
+
+	// Fallback decision when the MIP is infeasible or truncated without an
+	// incumbent: run the controller (safe and conservative).
+	stats ModelBasedStats
+}
+
+// SysModel is the slice of lti.System the policy needs; it avoids carrying
+// constraint sets the MIP encodes explicitly.
+type SysModel struct {
+	A *mat.Mat
+	B *mat.Mat
+	C mat.Vec
+}
+
+// ModelBasedStats counts solver outcomes for diagnostics.
+type ModelBasedStats struct {
+	Solved     int
+	Fallbacks  int
+	TotalNodes int
+}
+
+// Stats returns solver outcome counters.
+func (p *ModelBasedPolicy) Stats() ModelBasedStats { return p.stats }
+
+// Name implements SkipPolicy.
+func (p *ModelBasedPolicy) Name() string { return "model-based-mip" }
+
+// Validate checks the policy configuration.
+func (p *ModelBasedPolicy) Validate() error {
+	if p.Sys.A == nil || p.Sys.B == nil {
+		return errors.New("core: ModelBasedPolicy: missing dynamics")
+	}
+	if p.Kappa == nil || p.XPrime == nil || p.U == nil || p.KnownW == nil {
+		return errors.New("core: ModelBasedPolicy: missing component")
+	}
+	if p.Horizon < 1 {
+		return fmt.Errorf("core: ModelBasedPolicy: horizon %d < 1", p.Horizon)
+	}
+	return nil
+}
+
+func (p *ModelBasedPolicy) bigM() float64 {
+	if p.BigM > 0 {
+		return p.BigM
+	}
+	// Bound from U: M ≥ 2·max|u| is enough for both |u| ≤ Mz and
+	// |u − κ(x)| ≤ M(1−z) as long as κ's output is admissible on X′.
+	m := 1.0
+	nu := p.Sys.B.C
+	d := make(mat.Vec, nu)
+	for j := 0; j < nu; j++ {
+		for _, s := range []float64{1, -1} {
+			d[j] = s
+			if h, _, err := p.U.Support(d); err == nil && math.Abs(h) > m {
+				m = math.Abs(h)
+			}
+			d[j] = 0
+		}
+	}
+	return 4 * m
+}
+
+// Decide implements SkipPolicy by solving the horizon MIP and applying the
+// first skipping choice.
+func (p *ModelBasedPolicy) Decide(t int, x mat.Vec, _ []mat.Vec) bool {
+	if err := p.Validate(); err != nil {
+		p.stats.Fallbacks++
+		return true
+	}
+	nx := p.Sys.A.R
+	nu := p.Sys.B.C
+	h := p.Horizon
+	bigM := p.bigM()
+
+	// Variable layout: u(0..H−1) | x(1..H) | z(0..H−1) | au(0..H−1).
+	uOff := 0
+	xOff := h * nu
+	zOff := xOff + h*nx
+	auOff := zOff + h
+	nvars := auOff + h*nu
+
+	prob := mip.NewProblem(nvars)
+	obj := make([]float64, nvars)
+	for j := auOff; j < nvars; j++ {
+		obj[j] = 1
+	}
+	prob.SetObjective(obj)
+	for k := 0; k < h; k++ {
+		prob.SetBinary(zOff + k)
+	}
+	for j := auOff; j < nvars; j++ {
+		prob.SetBounds(j, 0, math.Inf(1))
+	}
+
+	xVar := func(k, i int) int { // x(k), k = 1..H
+		return xOff + (k-1)*nx + i
+	}
+
+	// Dynamics equalities: x(k+1) − A·x(k) − B·u(k) = c + w(t+k).
+	for k := 0; k < h; k++ {
+		w := p.KnownW(t + k)
+		for i := 0; i < nx; i++ {
+			row := make([]float64, nvars)
+			row[xVar(k+1, i)] = 1
+			rhs := p.Sys.C[i] + w[i]
+			if k == 0 {
+				// A·x(0) is a known constant.
+				rhs += p.Sys.A.Row(i).Dot(x)
+			} else {
+				for j2 := 0; j2 < nx; j2++ {
+					row[xVar(k, j2)] = -p.Sys.A.At(i, j2)
+				}
+			}
+			for c := 0; c < nu; c++ {
+				row[uOff+k*nu+c] = -p.Sys.B.At(i, c)
+			}
+			prob.AddConstraint(row, lp.EQ, rhs)
+		}
+	}
+
+	// State constraints x(k) ∈ X′ for k = 1..H (Eq. 6 constrains every
+	// predicted successor to the strengthened safe set).
+	for k := 1; k <= h; k++ {
+		for r := 0; r < p.XPrime.A.R; r++ {
+			row := make([]float64, nvars)
+			for i := 0; i < nx; i++ {
+				row[xVar(k, i)] = p.XPrime.A.At(r, i)
+			}
+			prob.AddConstraint(row, lp.LE, p.XPrime.B[r])
+		}
+	}
+
+	// Input constraints u(k) ∈ U.
+	for k := 0; k < h; k++ {
+		for r := 0; r < p.U.A.R; r++ {
+			row := make([]float64, nvars)
+			for c := 0; c < nu; c++ {
+				row[uOff+k*nu+c] = p.U.A.At(r, c)
+			}
+			prob.AddConstraint(row, lp.LE, p.U.B[r])
+		}
+	}
+
+	// Big-M linking u(k) = z(k)·κ(x(k)) with κ(x) = K·x + koff.
+	koff := p.Kappa.URef.Sub(p.Kappa.K.MulVec(p.Kappa.XRef))
+	for k := 0; k < h; k++ {
+		for c := 0; c < nu; c++ {
+			// ±(u − K·x(k) − koff) ≤ M(1 − z)
+			for _, sign := range []float64{1, -1} {
+				row := make([]float64, nvars)
+				row[uOff+k*nu+c] = sign
+				rhs := bigM + sign*koff[c]
+				if k == 0 {
+					rhs += sign * p.Kappa.K.Row(c).Dot(x)
+				} else {
+					for i := 0; i < nx; i++ {
+						row[xVar(k, i)] = -sign * p.Kappa.K.At(c, i)
+					}
+				}
+				row[zOff+k] = bigM
+				prob.AddConstraint(row, lp.LE, rhs)
+			}
+			// ±u ≤ M·z
+			for _, sign := range []float64{1, -1} {
+				row := make([]float64, nvars)
+				row[uOff+k*nu+c] = sign
+				row[zOff+k] = -bigM
+				prob.AddConstraint(row, lp.LE, 0)
+			}
+			// 1-norm epigraph: ±u ≤ au.
+			for _, sign := range []float64{1, -1} {
+				row := make([]float64, nvars)
+				row[uOff+k*nu+c] = sign
+				row[auOff+k*nu+c] = -1
+				prob.AddConstraint(row, lp.LE, 0)
+			}
+		}
+	}
+
+	sol := prob.Solve(mip.Options{MaxNodes: p.MaxNodes})
+	p.stats.TotalNodes += sol.Nodes
+	if sol.Status == mip.Optimal || (sol.Status == mip.NodeLimit && sol.HasIncumbent) {
+		p.stats.Solved++
+		return sol.X[zOff] > 0.5
+	}
+	// Infeasible (e.g. no plan keeps every successor in X′ for this
+	// disturbance future): fall back to running the safe controller.
+	p.stats.Fallbacks++
+	return true
+}

@@ -1,0 +1,369 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section IV) on top of the ACC case
+// study — Fig. 4 (fuel-saving histogram over 500 cases), the Section IV-A
+// computation-time analysis, Table I (the Ex.1–Ex.5 settings), Fig. 5
+// (saving vs. front-speed range), and Fig. 6 (saving vs. regularity).
+//
+// Episodes are evaluated in parallel across cases; each case replays the
+// same initial state and front-vehicle trace against every approach so
+// comparisons are paired.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"oic/internal/acc"
+	"oic/internal/core"
+	"oic/internal/rl"
+	"oic/internal/stats"
+	"oic/internal/traffic"
+)
+
+// Options tunes experiment size. The zero value reproduces the paper's
+// scale (500 cases of 100 steps) with a fixed seed.
+type Options struct {
+	Cases         int   // evaluation cases per scenario (default 500)
+	Steps         int   // steps per episode (default 100)
+	Seed          int64 // RNG seed (default 1)
+	TrainEpisodes int   // DRL training episodes per scenario (default 500)
+	Workers       int   // parallel evaluation workers (default GOMAXPROCS)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cases == 0 {
+		o.Cases = 500
+	}
+	if o.Steps == 0 {
+		o.Steps = acc.EpisodeSteps
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.TrainEpisodes == 0 {
+		o.TrainEpisodes = 500
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Case is one paired evaluation of the three approaches on an identical
+// (x0, v_f trace) episode.
+type Case struct {
+	FuelRM, FuelBB, FuelDRL       float64
+	EnergyRM, EnergyBB, EnergyDRL float64
+	SkipsBB, SkipsDRL             int
+	ForcedDRL                     int
+	Violations                    int // across all three runs (must be 0)
+
+	CtrlTimeRM   time.Duration // κ compute time in the RMPC-only run
+	CtrlTimeDRL  time.Duration
+	OverheadDRL  time.Duration
+	CtrlCallsRM  int
+	CtrlCallsDRL int
+}
+
+// FuelSavingBB returns the bang-bang fuel saving vs. RMPC-only in percent.
+func (c *Case) FuelSavingBB() float64 { return 100 * (c.FuelRM - c.FuelBB) / c.FuelRM }
+
+// FuelSavingDRL returns the DRL fuel saving vs. RMPC-only in percent.
+func (c *Case) FuelSavingDRL() float64 { return 100 * (c.FuelRM - c.FuelDRL) / c.FuelRM }
+
+// runCases evaluates opt.Cases paired episodes in parallel. The drl policy
+// may be nil to skip the DRL run (Case fields stay zero).
+func runCases(m *acc.Model, profile traffic.Profile, drl core.SkipPolicy, opt Options) ([]Case, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		x0 []float64
+		vf []float64
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	x0s, err := m.SampleInitialStates(opt.Cases, rng)
+	if err != nil {
+		return nil, fmt.Errorf("exp: sampling initial states: %w", err)
+	}
+	jobs := make([]job, opt.Cases)
+	for i := range jobs {
+		jobs[i] = job{x0: x0s[i], vf: profile.Generate(rng, opt.Steps)}
+	}
+
+	out := make([]Case, opt.Cases)
+	errs := make([]error, opt.Cases)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Workers)
+	fm := traffic.DefaultFuelModel()
+	for i := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			j := jobs[i]
+			var c Case
+			epRM, err := m.RunEpisode(core.AlwaysRun{}, j.x0, j.vf, fm)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			epBB, err := m.RunEpisode(core.BangBang{}, j.x0, j.vf, fm)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			c.FuelRM, c.EnergyRM = epRM.Fuel, epRM.Energy
+			c.FuelBB, c.EnergyBB = epBB.Fuel, epBB.Energy
+			c.SkipsBB = epBB.Result.Skips
+			c.Violations = epRM.Result.ViolationsX + epBB.Result.ViolationsX
+			c.CtrlTimeRM = epRM.Result.CtrlTime
+			c.CtrlCallsRM = epRM.Result.ControllerCalls
+			if drl != nil {
+				epDR, err := m.RunEpisode(drl, j.x0, j.vf, fm)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				c.FuelDRL, c.EnergyDRL = epDR.Fuel, epDR.Energy
+				c.SkipsDRL = epDR.Result.Skips
+				c.ForcedDRL = epDR.Result.Forced
+				c.Violations += epDR.Result.ViolationsX
+				c.CtrlTimeDRL = epDR.Result.CtrlTime
+				c.OverheadDRL = epDR.Result.OverheadTime
+				c.CtrlCallsDRL = epDR.Result.ControllerCalls
+			}
+			out[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Fig4Result reproduces Figure 4: the distribution of fuel-consumption
+// savings of bang-bang control and DRL-based opportunistic intermittent
+// control over RMPC-only, across randomly generated cases.
+type Fig4Result struct {
+	Opt        Options
+	BBHist     *stats.Histogram // savings histogram, 10 %-wide bins
+	DRLHist    *stats.Histogram
+	BBSavings  []float64 // per-case fuel savings (%)
+	DRLSavings []float64
+	BBMean     float64 // paper: 16.28 %
+	DRLMean    float64 // paper: 23.83 %
+	BBEnergy   float64 // mean energy saving (%) — Problem 1's objective
+	DRLEnergy  float64
+	SkipsDRL   float64 // mean skipped steps per 100 (paper: 79.4)
+	Violations int     // total safety violations (Theorem 1: 0)
+	Train      rl.TrainStats
+}
+
+// Fig4 trains the DRL agent on the Eq. 8 sinusoid scenario and evaluates
+// the three approaches on paired random cases.
+func Fig4(opt Options) (*Fig4Result, error) {
+	opt = opt.withDefaults()
+	sc := acc.Fig4Scenario()
+	m, err := acc.ModelFor(sc)
+	if err != nil {
+		return nil, err
+	}
+	agent, train, err := m.TrainDRL(sc.Profile, acc.TrainConfig{
+		Episodes: opt.TrainEpisodes, Steps: opt.Steps, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cases, err := runCases(m, sc.Profile, m.DRLPolicy(agent), opt)
+	if err != nil {
+		return nil, err
+	}
+
+	edges := []float64{0, 10, 20, 30, 40, 50, 60}
+	res := &Fig4Result{
+		Opt:     opt,
+		BBHist:  stats.NewHistogram(edges),
+		DRLHist: stats.NewHistogram(edges),
+		Train:   train,
+	}
+	for i := range cases {
+		c := &cases[i]
+		sb, sd := c.FuelSavingBB(), c.FuelSavingDRL()
+		res.BBSavings = append(res.BBSavings, sb)
+		res.DRLSavings = append(res.DRLSavings, sd)
+		res.BBHist.Add(sb)
+		res.DRLHist.Add(sd)
+		res.BBMean += sb
+		res.DRLMean += sd
+		res.BBEnergy += 100 * (c.EnergyRM - c.EnergyBB) / c.EnergyRM
+		res.DRLEnergy += 100 * (c.EnergyRM - c.EnergyDRL) / c.EnergyRM
+		res.SkipsDRL += float64(c.SkipsDRL) * 100 / float64(opt.Steps)
+		res.Violations += c.Violations
+	}
+	n := float64(len(cases))
+	res.BBMean /= n
+	res.DRLMean /= n
+	res.BBEnergy /= n
+	res.DRLEnergy /= n
+	res.SkipsDRL /= n
+	return res, nil
+}
+
+// SeriesPoint is one scenario's aggregate in a Fig. 5 / Fig. 6 sweep.
+type SeriesPoint struct {
+	Scenario   acc.Scenario
+	DRLSaving  float64 // mean fuel saving vs RMPC-only (%)
+	BBSaving   float64
+	DRLEnergy  float64 // mean energy saving (%)
+	SkipsDRL   float64
+	Violations int
+}
+
+// SeriesResult is a scenario sweep (Fig. 5 or Fig. 6).
+type SeriesResult struct {
+	Opt    Options
+	Points []SeriesPoint
+}
+
+// sweep trains and evaluates one scenario per point.
+func sweep(scs []acc.Scenario, opt Options) (*SeriesResult, error) {
+	opt = opt.withDefaults()
+	res := &SeriesResult{Opt: opt}
+	for _, sc := range scs {
+		m, err := acc.ModelFor(sc)
+		if err != nil {
+			return nil, fmt.Errorf("exp: scenario %s: %w", sc.ID, err)
+		}
+		agent, _, err := m.TrainDRL(sc.Profile, acc.TrainConfig{
+			Episodes: opt.TrainEpisodes, Steps: opt.Steps, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: scenario %s: %w", sc.ID, err)
+		}
+		cases, err := runCases(m, sc.Profile, m.DRLPolicy(agent), opt)
+		if err != nil {
+			return nil, fmt.Errorf("exp: scenario %s: %w", sc.ID, err)
+		}
+		pt := SeriesPoint{Scenario: sc}
+		for i := range cases {
+			c := &cases[i]
+			pt.DRLSaving += c.FuelSavingDRL()
+			pt.BBSaving += c.FuelSavingBB()
+			pt.DRLEnergy += 100 * (c.EnergyRM - c.EnergyDRL) / c.EnergyRM
+			pt.SkipsDRL += float64(c.SkipsDRL) * 100 / float64(opt.Steps)
+			pt.Violations += c.Violations
+		}
+		n := float64(len(cases))
+		pt.DRLSaving /= n
+		pt.BBSaving /= n
+		pt.DRLEnergy /= n
+		pt.SkipsDRL /= n
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Fig5 reproduces Figure 5: DRL fuel savings across the shrinking
+// front-speed ranges of Ex.1–Ex.5 (Table I). The paper's shape: savings
+// increase as the range narrows.
+func Fig5(opt Options) (*SeriesResult, error) {
+	return sweep(acc.Table1Scenarios(), opt)
+}
+
+// Fig6 reproduces Figure 6: DRL fuel savings across the regularity ladder
+// Ex.6–Ex.10. The paper's shape: savings increase with regularity from
+// Ex.7 to Ex.10, with purely-random Ex.6 an outlier on the high side.
+func Fig6(opt Options) (*SeriesResult, error) {
+	return sweep(acc.RegularityScenarios(), opt)
+}
+
+// TimingResult reproduces the Section IV-A computation-time analysis.
+type TimingResult struct {
+	Opt            Options
+	RMPCPerStep    time.Duration // paper: 0.12 s on their i7
+	MonitorPerStep time.Duration // monitor + DQN inference; paper: 0.02 s
+	SkipsPer100    float64       // paper: 79.4
+	ComputeSaving  float64       // paper: ≈ 60 %
+}
+
+// Timing measures the per-step cost of the RMPC against the monitor+policy
+// overhead and applies the paper's accounting:
+//
+//	saving = (T_κ·n − (T_mon·n + T_κ·(n − skips))) / (T_κ·n).
+func Timing(opt Options) (*TimingResult, error) {
+	opt = opt.withDefaults()
+	sc := acc.Fig4Scenario()
+	m, err := acc.ModelFor(sc)
+	if err != nil {
+		return nil, err
+	}
+	agent, _, err := m.TrainDRL(sc.Profile, acc.TrainConfig{
+		Episodes: opt.TrainEpisodes, Steps: opt.Steps, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cases, err := runCases(m, sc.Profile, m.DRLPolicy(agent), opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &TimingResult{Opt: opt}
+	var ctrlRM, overheadDRL time.Duration
+	var callsRM int
+	var steps, skips int
+	for i := range cases {
+		c := &cases[i]
+		ctrlRM += c.CtrlTimeRM
+		callsRM += c.CtrlCallsRM
+		overheadDRL += c.OverheadDRL
+		steps += opt.Steps
+		skips += c.SkipsDRL
+	}
+	if callsRM == 0 || steps == 0 {
+		return nil, fmt.Errorf("exp: Timing: no data")
+	}
+	res.RMPCPerStep = ctrlRM / time.Duration(callsRM)
+	res.MonitorPerStep = overheadDRL / time.Duration(steps)
+	res.SkipsPer100 = float64(skips) * 100 / float64(steps)
+	tk := res.RMPCPerStep.Seconds()
+	tm := res.MonitorPerStep.Seconds()
+	n := 100.0
+	run := n - res.SkipsPer100
+	res.ComputeSaving = 100 * (tk*n - (tm*n + tk*run)) / (tk * n)
+	return res, nil
+}
+
+// Table1Row is one row of Table I plus our measured outcome for it.
+type Table1Row struct {
+	Scenario  acc.Scenario
+	DRLSaving float64
+	BBSaving  float64
+}
+
+// Table1 reproduces Table I (the Ex.1–Ex.5 settings) and annotates each
+// row with the measured savings from the Fig. 5 sweep.
+func Table1(opt Options) ([]Table1Row, error) {
+	series, err := Fig5(opt)
+	if err != nil {
+		return nil, err
+	}
+	return Table1FromSeries(series), nil
+}
+
+// Table1FromSeries derives the Table I rows from an existing Fig. 5 sweep,
+// avoiding a second training/evaluation pass.
+func Table1FromSeries(series *SeriesResult) []Table1Row {
+	rows := make([]Table1Row, len(series.Points))
+	for i, pt := range series.Points {
+		rows[i] = Table1Row{Scenario: pt.Scenario, DRLSaving: pt.DRLSaving, BBSaving: pt.BBSaving}
+	}
+	return rows
+}

@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"oic/internal/acc"
+	"oic/internal/core"
+)
+
+// smallOpt keeps integration tests fast; full-scale runs live behind the
+// CLI and benchmarks.
+func smallOpt() Options {
+	return Options{Cases: 6, Steps: 40, Seed: 2, TrainEpisodes: 4}
+}
+
+func TestRunCasesPairedAndSafe(t *testing.T) {
+	m, err := acc.NewModel(acc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := runCases(m, acc.Fig4Scenario().Profile, core.BangBang{}, smallOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 6 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	for i, c := range cases {
+		if c.Violations != 0 {
+			t.Errorf("case %d: %d violations", i, c.Violations)
+		}
+		if c.FuelRM <= 0 || c.FuelBB <= 0 {
+			t.Errorf("case %d: fuel %v/%v", i, c.FuelRM, c.FuelBB)
+		}
+		if c.CtrlCallsRM != 40 {
+			t.Errorf("case %d: RMPC-only controller calls = %d, want 40", i, c.CtrlCallsRM)
+		}
+	}
+}
+
+func TestRunCasesDeterministicAcrossWorkerCounts(t *testing.T) {
+	m, err := acc.NewModel(acc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt1 := smallOpt()
+	opt1.Workers = 1
+	opt8 := smallOpt()
+	opt8.Workers = 8
+	a, err := runCases(m, acc.Fig4Scenario().Profile, nil, opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCases(m, acc.Fig4Scenario().Profile, nil, opt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].FuelBB != b[i].FuelBB || a[i].SkipsBB != b[i].SkipsBB {
+			t.Fatalf("case %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestFig4SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	r, err := Fig4(smallOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Violations != 0 {
+		t.Errorf("violations = %d", r.Violations)
+	}
+	if len(r.BBSavings) != 6 || len(r.DRLSavings) != 6 {
+		t.Fatalf("savings slices: %d/%d", len(r.BBSavings), len(r.DRLSavings))
+	}
+	if got := r.BBHist.Total() + r.BBHist.Underflow + r.BBHist.Overflow; got != 6 {
+		t.Errorf("histogram total = %d", got)
+	}
+	out := RenderFig4(r)
+	for _, want := range []string{"Figure 4", "bang-bang", "opportunistic-DRL", "Theorem 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	csv := CSVFig4(r)
+	if strings.Count(csv, "\n") != 7 { // header + 6 rows
+		t.Errorf("csv rows:\n%s", csv)
+	}
+}
+
+func TestTimingSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	r, err := Timing(smallOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RMPCPerStep <= 0 || r.MonitorPerStep <= 0 {
+		t.Errorf("timings: %v / %v", r.RMPCPerStep, r.MonitorPerStep)
+	}
+	if r.RMPCPerStep < r.MonitorPerStep {
+		t.Errorf("RMPC (%v) should dominate the monitor+policy overhead (%v)", r.RMPCPerStep, r.MonitorPerStep)
+	}
+	if r.ComputeSaving <= 0 || r.ComputeSaving >= 100 {
+		t.Errorf("compute saving = %v%%", r.ComputeSaving)
+	}
+	if !strings.Contains(RenderTiming(r), "computation-time saving") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestSweepSingleScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	r, err := sweep(acc.Table1Scenarios()[:1], smallOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 1 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if r.Points[0].Violations != 0 {
+		t.Errorf("violations = %d", r.Points[0].Violations)
+	}
+	out := RenderSeries("Figure 5", r, "note")
+	if !strings.Contains(out, "Ex.1") {
+		t.Errorf("render:\n%s", out)
+	}
+	if !strings.Contains(CSVSeries(r), "Ex.1,30,50") {
+		t.Error("csv missing scenario row")
+	}
+}
+
+func TestTable1FromSeries(t *testing.T) {
+	series := &SeriesResult{Points: []SeriesPoint{
+		{Scenario: acc.Table1Scenarios()[0], DRLSaving: 7.5, BBSaving: 5.5},
+		{Scenario: acc.Table1Scenarios()[1], DRLSaving: 8.5, BBSaving: 6.0},
+	}}
+	rows := Table1FromSeries(series)
+	if len(rows) != 2 || rows[0].DRLSaving != 7.5 || rows[1].Scenario.ID != "Ex.2" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{"Table I", "Ex.1", "[30, 50]", "7.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShortNameHelper(t *testing.T) {
+	cases := map[string]string{
+		"bounded-random[30,50]|a|<=20": "bounded-random",
+		"sinusoid(amp=9,noise=1)":      "sinusoid",
+		"plain":                        "plain",
+	}
+	for in, want := range cases {
+		if got := shortName(in); got != want {
+			t.Errorf("shortName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"oic/internal/stats"
+)
+
+// RenderFig4 formats a Fig. 4 reproduction as a terminal report.
+func RenderFig4(r *Fig4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — fuel-consumption savings vs RMPC-only (%d cases, %d steps)\n",
+		len(r.BBSavings), r.Opt.Steps)
+	fmt.Fprintf(&b, "scenario: sinusoidal front vehicle (Eq. 8, a_f=9, w∈[−1,1])\n\n")
+	b.WriteString(stats.RenderGrouped(
+		[]string{"bang-bang", "opportunistic-DRL"},
+		[]*stats.Histogram{r.BBHist, r.DRLHist}, 40))
+	fmt.Fprintf(&b, "\nmean fuel saving:   bang-bang %6.2f%%   DRL %6.2f%%   (paper: 16.28%% / 23.83%%)\n",
+		r.BBMean, r.DRLMean)
+	fmt.Fprintf(&b, "mean energy saving: bang-bang %6.2f%%   DRL %6.2f%%   (Σ‖u‖₁, Problem 1)\n",
+		r.BBEnergy, r.DRLEnergy)
+	fmt.Fprintf(&b, "mean skipped steps per 100 (DRL): %.1f   (paper: 79.4)\n", r.SkipsDRL)
+	fmt.Fprintf(&b, "safety violations: %d (Theorem 1 requires 0)\n", r.Violations)
+	return b.String()
+}
+
+// RenderSeries formats a Fig. 5 / Fig. 6 sweep as a terminal report.
+func RenderSeries(title string, r *SeriesResult, paperNote string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d cases per scenario, %d steps)\n", title, r.Opt.Cases, r.Opt.Steps)
+	if paperNote != "" {
+		fmt.Fprintf(&b, "%s\n", paperNote)
+	}
+	b.WriteString("\n")
+	labels := make([]string, len(r.Points))
+	values := make([]float64, len(r.Points))
+	for i, pt := range r.Points {
+		labels[i] = pt.Scenario.ID
+		values[i] = pt.DRLSaving
+	}
+	b.WriteString(stats.RenderSeries(labels, values, "%", 40))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-8s %-22s %12s %12s %10s %6s\n",
+		"ID", "v_f range / pattern", "DRL fuel %", "BB fuel %", "skips/100", "viol")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-8s [%g, %g] %-10s %12.2f %12.2f %10.1f %6d\n",
+			pt.Scenario.ID, pt.Scenario.VfMin, pt.Scenario.VfMax,
+			shortName(pt.Scenario.Profile.Name()),
+			pt.DRLSaving, pt.BBSaving, pt.SkipsDRL, pt.Violations)
+	}
+	return b.String()
+}
+
+func shortName(n string) string {
+	if i := strings.IndexByte(n, '['); i > 0 {
+		return n[:i]
+	}
+	if i := strings.IndexByte(n, '('); i > 0 {
+		return n[:i]
+	}
+	return n
+}
+
+// RenderTiming formats the computation-time analysis.
+func RenderTiming(r *TimingResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section IV-A — computation-time analysis (%d cases)\n\n", r.Opt.Cases)
+	fmt.Fprintf(&b, "RMPC compute per step:        %12v   (paper: 0.12 s on their i7)\n", r.RMPCPerStep)
+	fmt.Fprintf(&b, "monitor + policy per step:    %12v   (paper: 0.02 s)\n", r.MonitorPerStep)
+	fmt.Fprintf(&b, "skipped steps per 100 (DRL):  %12.1f   (paper: 79.4)\n", r.SkipsPer100)
+	fmt.Fprintf(&b, "computation-time saving:      %11.1f%%   (paper: ≈60%%)\n", r.ComputeSaving)
+	return b.String()
+}
+
+// RenderTable1 formats Table I with measured savings.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table I — v_f settings for Ex.1–Ex.5 (with measured savings)\n\n")
+	fmt.Fprintf(&b, "%-8s %-16s %14s %14s\n", "ID", "range of v_f", "DRL saving %", "BB saving %")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8s [%g, %g] %14.2f %14.2f\n",
+			row.Scenario.ID, row.Scenario.VfMin, row.Scenario.VfMax, row.DRLSaving, row.BBSaving)
+	}
+	return b.String()
+}
+
+// CSVFig4 renders per-case savings as CSV (case, bb_saving_pct, drl_saving_pct).
+func CSVFig4(r *Fig4Result) string {
+	var b strings.Builder
+	b.WriteString("case,bb_fuel_saving_pct,drl_fuel_saving_pct\n")
+	for i := range r.BBSavings {
+		fmt.Fprintf(&b, "%d,%.4f,%.4f\n", i, r.BBSavings[i], r.DRLSavings[i])
+	}
+	return b.String()
+}
+
+// CSVSeries renders a sweep as CSV.
+func CSVSeries(r *SeriesResult) string {
+	var b strings.Builder
+	b.WriteString("id,vf_min,vf_max,drl_fuel_saving_pct,bb_fuel_saving_pct,drl_energy_saving_pct,skips_per_100,violations\n")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%s,%g,%g,%.4f,%.4f,%.4f,%.2f,%d\n",
+			pt.Scenario.ID, pt.Scenario.VfMin, pt.Scenario.VfMax,
+			pt.DRLSaving, pt.BBSaving, pt.DRLEnergy, pt.SkipsDRL, pt.Violations)
+	}
+	return b.String()
+}

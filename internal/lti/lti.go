@@ -1,0 +1,158 @@
+// Package lti models discrete-time affine linear time-invariant systems
+// with additive bounded disturbances,
+//
+//	x(t+1) = A·x(t) + B·u(t) + c + w(t),   w(t) ∈ W,
+//
+// together with polytopic constraints on states (safe set X), inputs (U),
+// and disturbances (W). The affine drift c generalizes the paper's model
+// (Eq. 1, where c = 0) so that case studies can run in physical coordinates
+// where "skip ⇒ u = 0" genuinely means no actuation; see DESIGN.md §5.1.
+package lti
+
+import (
+	"fmt"
+
+	"oic/internal/mat"
+	"oic/internal/poly"
+)
+
+// System is a discrete affine LTI plant with constraint polytopes.
+type System struct {
+	A *mat.Mat // n×n state transition
+	B *mat.Mat // n×m input map
+	C mat.Vec  // length-n affine drift (zero in the paper's formulation)
+
+	X *poly.Polytope // safe state set
+	U *poly.Polytope // admissible input set
+	W *poly.Polytope // disturbance set
+}
+
+// NewSystem returns a system with the given dynamics, zero drift, and no
+// constraint sets.
+func NewSystem(a, b *mat.Mat) *System {
+	if a.R != a.C {
+		panic(fmt.Sprintf("lti: NewSystem: A is %dx%d, want square", a.R, a.C))
+	}
+	if b.R != a.R {
+		panic(fmt.Sprintf("lti: NewSystem: B has %d rows, want %d", b.R, a.R))
+	}
+	return &System{A: a, B: b, C: make(mat.Vec, a.R)}
+}
+
+// WithDrift sets the affine term c and returns the system for chaining.
+func (s *System) WithDrift(c mat.Vec) *System {
+	if len(c) != s.NX() {
+		panic("lti: WithDrift: dimension mismatch")
+	}
+	s.C = c.Clone()
+	return s
+}
+
+// WithConstraints sets the safe, input, and disturbance polytopes and
+// returns the system for chaining. Any of them may be nil when a caller
+// does not need it.
+func (s *System) WithConstraints(x, u, w *poly.Polytope) *System {
+	if x != nil && x.Dim() != s.NX() {
+		panic("lti: WithConstraints: X dimension mismatch")
+	}
+	if u != nil && u.Dim() != s.NU() {
+		panic("lti: WithConstraints: U dimension mismatch")
+	}
+	if w != nil && w.Dim() != s.NX() {
+		panic("lti: WithConstraints: W dimension mismatch")
+	}
+	s.X, s.U, s.W = x, u, w
+	return s
+}
+
+// NX returns the state dimension.
+func (s *System) NX() int { return s.A.R }
+
+// NU returns the input dimension.
+func (s *System) NU() int { return s.B.C }
+
+// Step returns A·x + B·u + c + w. A nil w is treated as zero.
+func (s *System) Step(x, u, w mat.Vec) mat.Vec {
+	next := s.A.MulVec(x).Add(s.B.MulVec(u)).Add(s.C)
+	if w != nil {
+		next = next.Add(w)
+	}
+	return next
+}
+
+// ClosedLoop returns the autonomous affine dynamics (Acl, ccl) obtained by
+// substituting the affine feedback u = K·(x − xref) + uref:
+//
+//	x⁺ = (A + B·K)·x + (c + B·(uref − K·xref)) + w.
+func (s *System) ClosedLoop(k *mat.Mat, xref, uref mat.Vec) (*mat.Mat, mat.Vec) {
+	if k.R != s.NU() || k.C != s.NX() {
+		panic(fmt.Sprintf("lti: ClosedLoop: K is %dx%d, want %dx%d", k.R, k.C, s.NU(), s.NX()))
+	}
+	acl := s.A.Add(s.B.Mul(k))
+	ccl := s.C.Add(s.B.MulVec(uref.Sub(k.MulVec(xref))))
+	return acl, ccl
+}
+
+// Trajectory records the evolution of a simulation run. States has one more
+// entry than Inputs and Dists.
+type Trajectory struct {
+	States []mat.Vec
+	Inputs []mat.Vec
+	Dists  []mat.Vec
+}
+
+// Energy returns the accumulated 1-norm actuation cost Σ‖u(t)‖₁, the
+// paper's energy objective (Problem 1).
+func (tr *Trajectory) Energy() float64 {
+	e := 0.0
+	for _, u := range tr.Inputs {
+		e += u.Norm1()
+	}
+	return e
+}
+
+// Steps returns the number of simulated transitions.
+func (tr *Trajectory) Steps() int { return len(tr.Inputs) }
+
+// MaxViolation returns the worst constraint violation of any state against
+// the polytope p (negative when all states are strictly inside).
+func (tr *Trajectory) MaxViolation(p *poly.Polytope) float64 {
+	worst := -1e300
+	for _, x := range tr.States {
+		if v := p.Violation(x); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Control produces an input for the current step; Disturb produces the
+// disturbance realization.
+type (
+	Control func(t int, x mat.Vec) mat.Vec
+	Disturb func(t int) mat.Vec
+)
+
+// Simulate rolls the system forward for steps transitions from x0 using the
+// given control and disturbance laws (nil disturbance means zero) and
+// records the trajectory.
+func (s *System) Simulate(x0 mat.Vec, steps int, ctrl Control, dist Disturb) *Trajectory {
+	tr := &Trajectory{States: []mat.Vec{x0.Clone()}}
+	x := x0.Clone()
+	for t := 0; t < steps; t++ {
+		u := ctrl(t, x)
+		var w mat.Vec
+		if dist != nil {
+			w = dist(t)
+		}
+		x = s.Step(x, u, w)
+		tr.Inputs = append(tr.Inputs, u.Clone())
+		if w != nil {
+			tr.Dists = append(tr.Dists, w.Clone())
+		} else {
+			tr.Dists = append(tr.Dists, make(mat.Vec, s.NX()))
+		}
+		tr.States = append(tr.States, x.Clone())
+	}
+	return tr
+}

@@ -1,0 +1,107 @@
+package lti
+
+import (
+	"math"
+	"testing"
+
+	"oic/internal/mat"
+	"oic/internal/poly"
+)
+
+func doubleIntegrator() *System {
+	a := mat.FromRows([][]float64{{1, 0.1}, {0, 1}})
+	b := mat.FromRows([][]float64{{0}, {0.1}})
+	return NewSystem(a, b)
+}
+
+func TestStep(t *testing.T) {
+	s := doubleIntegrator()
+	x := mat.Vec{1, 2}
+	u := mat.Vec{3}
+	next := s.Step(x, u, nil)
+	want := mat.Vec{1.2, 2.3}
+	if !next.Equal(want, 1e-12) {
+		t.Errorf("Step = %v, want %v", next, want)
+	}
+}
+
+func TestStepWithDriftAndDisturbance(t *testing.T) {
+	s := doubleIntegrator().WithDrift(mat.Vec{0.5, 0})
+	next := s.Step(mat.Vec{0, 0}, mat.Vec{0}, mat.Vec{0.1, -0.1})
+	if !next.Equal(mat.Vec{0.6, -0.1}, 1e-12) {
+		t.Errorf("Step = %v", next)
+	}
+}
+
+func TestClosedLoop(t *testing.T) {
+	s := doubleIntegrator()
+	k := mat.FromRows([][]float64{{-1, -2}})
+	acl, ccl := s.ClosedLoop(k, mat.Vec{0, 0}, mat.Vec{0})
+	// A + BK = [[1, 0.1], [-0.1, 0.8]]
+	want := mat.FromRows([][]float64{{1, 0.1}, {-0.1, 0.8}})
+	if !acl.Equal(want, 1e-12) {
+		t.Errorf("Acl = %v", acl)
+	}
+	if !ccl.Equal(mat.Vec{0, 0}, 1e-12) {
+		t.Errorf("ccl = %v", ccl)
+	}
+}
+
+func TestClosedLoopWithReferences(t *testing.T) {
+	s := doubleIntegrator()
+	k := mat.FromRows([][]float64{{-1, 0}})
+	xref := mat.Vec{2, 0}
+	uref := mat.Vec{5}
+	acl, ccl := s.ClosedLoop(k, xref, uref)
+	// Closed loop applied at xref must reproduce Step(xref, uref).
+	got := acl.MulVec(xref).Add(ccl)
+	want := s.Step(xref, uref, nil)
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("closed loop at xref = %v, want %v", got, want)
+	}
+}
+
+func TestSimulateEnergyAndViolation(t *testing.T) {
+	s := doubleIntegrator()
+	safe := poly.Box([]float64{-10, -10}, []float64{10, 10})
+	tr := s.Simulate(mat.Vec{0, 0}, 5,
+		func(t int, x mat.Vec) mat.Vec { return mat.Vec{1} },
+		func(t int) mat.Vec { return mat.Vec{0, 0} },
+	)
+	if tr.Steps() != 5 || len(tr.States) != 6 {
+		t.Fatalf("trajectory sizes: %d steps, %d states", tr.Steps(), len(tr.States))
+	}
+	if math.Abs(tr.Energy()-5) > 1e-12 {
+		t.Errorf("Energy = %v, want 5", tr.Energy())
+	}
+	if v := tr.MaxViolation(safe); v >= 0 {
+		t.Errorf("MaxViolation = %v, want negative", v)
+	}
+}
+
+func TestSimulateNilDisturbance(t *testing.T) {
+	s := doubleIntegrator()
+	tr := s.Simulate(mat.Vec{1, 0}, 3, func(int, mat.Vec) mat.Vec { return mat.Vec{0} }, nil)
+	if len(tr.Dists) != 3 {
+		t.Fatalf("Dists = %d", len(tr.Dists))
+	}
+	for _, w := range tr.Dists {
+		if !w.Equal(mat.Vec{0, 0}, 0) {
+			t.Errorf("nil disturbance recorded as %v", w)
+		}
+	}
+	// Position integrates velocity 0: stays at 1.
+	if !tr.States[3].Equal(mat.Vec{1, 0}, 1e-12) {
+		t.Errorf("final state = %v", tr.States[3])
+	}
+}
+
+func TestConstraintValidation(t *testing.T) {
+	s := doubleIntegrator()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong X dimension")
+		}
+	}()
+	s.WithConstraints(poly.Box([]float64{0}, []float64{1}), nil, nil)
+}

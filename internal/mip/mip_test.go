@@ -1,0 +1,196 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oic/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 5a + 4b + 3c s.t. 2a + 3b + c <= 5, binaries.
+	// Optimum: a=1, c=1 (weight 3), b could fit? 2+3+1=6 > 5, so a+c = 8;
+	// a+b = 9 with weight 5 — feasible and better.
+	p := NewProblem(3)
+	p.SetObjective([]float64{-5, -4, -3})
+	for i := 0; i < 3; i++ {
+		p.SetBinary(i)
+	}
+	p.AddConstraint([]float64{2, 3, 1}, lp.LE, 5)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-9)) > 1e-6 {
+		t.Errorf("objective = %v, want -9 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// min -x s.t. 2x <= 7, x integer >= 0 → x = 3.
+	p := NewProblem(1)
+	p.SetObjective([]float64{-1})
+	p.SetInteger(0)
+	p.SetBounds(0, 0, math.Inf(1))
+	p.AddConstraint([]float64{2}, lp.LE, 7)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.X[0]-3) > 1e-6 {
+		t.Errorf("x = %v, want 3", sol.X[0])
+	}
+}
+
+func TestIntegerInfeasible(t *testing.T) {
+	// 2x = 1 with binary x has a fractional LP solution but no integer one.
+	p := NewProblem(1)
+	p.SetBinary(0)
+	p.AddConstraint([]float64{2}, lp.EQ, 1)
+	if sol := p.Solve(Options{}); sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestLPInfeasibleRoot(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBinary(0)
+	p.AddConstraint([]float64{1}, lp.GE, 2)
+	if sol := p.Solve(Options{}); sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min y s.t. y >= 1.5 - z, y >= z - 0.5, z binary, y free.
+	// z=1 → y >= 0.5; z=0 → y >= 1.5. Optimum y = 0.5.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 0})
+	p.SetBinary(1)
+	p.AddConstraint([]float64{1, 1}, lp.GE, 1.5)
+	p.AddConstraint([]float64{1, -1}, lp.GE, -0.5)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-0.5) > 1e-6 {
+		t.Errorf("objective = %v, want 0.5 (x=%v)", sol.Objective, sol.X)
+	}
+	if math.Abs(sol.X[1]-1) > 1e-6 {
+		t.Errorf("z = %v, want 1", sol.X[1])
+	}
+}
+
+func TestBigMIndicator(t *testing.T) {
+	// Force u = z·5 with big-M rows: |u - 5| <= M(1-z), |u| <= M·z.
+	// min -u → wants u = 5 with z = 1.
+	const M = 100
+	p := NewProblem(2) // u, z
+	p.SetObjective([]float64{-1, 0})
+	p.SetBinary(1)
+	p.AddConstraint([]float64{1, M}, lp.LE, 5+M)  // u - 5 <= M(1-z)
+	p.AddConstraint([]float64{-1, M}, lp.LE, M-5) // -(u-5) <= M(1-z)
+	p.AddConstraint([]float64{1, -M}, lp.LE, 0)   // u <= Mz
+	p.AddConstraint([]float64{-1, -M}, lp.LE, 0)  // -u <= Mz
+	p.SetBounds(0, -10, 10)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.X[0]-5) > 1e-6 || math.Abs(sol.X[1]-1) > 1e-6 {
+		t.Errorf("x = %v, want u=5, z=1", sol.X)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem that needs branching, with MaxNodes=1 forcing truncation.
+	p := NewProblem(2)
+	p.SetObjective([]float64{-1, -1})
+	p.SetInteger(0)
+	p.SetInteger(1)
+	p.SetBounds(0, 0, 3.5)
+	p.SetBounds(1, 0, 3.5)
+	p.AddConstraint([]float64{1, 2}, lp.LE, 6.3)
+	sol := p.Solve(Options{MaxNodes: 1})
+	if sol.Status != NodeLimit {
+		t.Fatalf("status = %v, want node-limit", sol.Status)
+	}
+}
+
+// TestRandomBinaryAgainstBruteForce enumerates all binary assignments of
+// random small MIPs and compares the optimum.
+func TestRandomBinaryAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		nb := 2 + rng.Intn(4) // binaries
+		type rowT struct {
+			a   []float64
+			rhs float64
+		}
+		var rows []rowT
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			a := make([]float64, nb)
+			for j := range a {
+				a[j] = math.Round(rng.NormFloat64() * 3)
+			}
+			rows = append(rows, rowT{a: a, rhs: rng.Float64() * 4})
+		}
+		c := make([]float64, nb)
+		for j := range c {
+			c[j] = math.Round(rng.NormFloat64() * 5)
+		}
+
+		p := NewProblem(nb)
+		p.SetObjective(c)
+		for i := 0; i < nb; i++ {
+			p.SetBinary(i)
+		}
+		for _, r := range rows {
+			p.AddConstraint(r.a, lp.LE, r.rhs)
+		}
+		sol := p.Solve(Options{})
+
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<nb; mask++ {
+			ok := true
+			obj := 0.0
+			for _, r := range rows {
+				s := 0.0
+				for j := 0; j < nb; j++ {
+					if mask&(1<<j) != 0 {
+						s += r.a[j]
+					}
+				}
+				if s > r.rhs+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for j := 0; j < nb; j++ {
+				if mask&(1<<j) != 0 {
+					obj += c[j]
+				}
+			}
+			if obj < best {
+				best = obj
+			}
+		}
+
+		if math.IsInf(best, 1) {
+			if sol.Status != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %v", trial, sol.Status)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v, brute force found %v", trial, sol.Status, best)
+		}
+		if math.Abs(sol.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: mip %v vs brute force %v (x=%v)", trial, sol.Objective, best, sol.X)
+		}
+	}
+}

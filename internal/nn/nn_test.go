@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"oic/internal/mat"
+)
+
+func TestForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{3, 8, 2}, rng)
+	out := m.Forward(mat.Vec{0.1, -0.2, 0.5})
+	if len(out) != 2 {
+		t.Fatalf("output dim = %d", len(out))
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP([]int{2, 4, 1}, rng)
+	x := mat.Vec{0.3, -0.7}
+	a := m.Forward(x)
+	b := m.Forward(x)
+	if !a.Equal(b, 0) {
+		t.Error("forward pass not deterministic")
+	}
+}
+
+func TestReLUActivation(t *testing.T) {
+	// Hand-built network: single hidden unit with ReLU.
+	m := &MLP{
+		Sizes:   []int{1, 1, 1},
+		Weights: []*mat.Mat{mat.FromRows([][]float64{{1}}), mat.FromRows([][]float64{{1}})},
+		Biases:  []mat.Vec{{0}, {0}},
+	}
+	if got := m.Forward(mat.Vec{2})[0]; got != 2 {
+		t.Errorf("f(2) = %v, want 2", got)
+	}
+	if got := m.Forward(mat.Vec{-2})[0]; got != 0 {
+		t.Errorf("f(-2) = %v, want 0 (ReLU)", got)
+	}
+}
+
+// TestGradientCheck verifies backprop against central finite differences on
+// a scalar loss L = Σ out².
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP([]int{3, 5, 4, 2}, rng)
+	x := mat.Vec{0.4, -0.3, 0.9}
+
+	loss := func() float64 {
+		out := m.Forward(x)
+		s := 0.0
+		for _, v := range out {
+			s += v * v
+		}
+		return s
+	}
+	// Analytic gradient: dL/dout = 2·out.
+	g := NewGrads(m)
+	out := m.Forward(x)
+	m.Accumulate(g, x, out.Scale(2))
+
+	const h = 1e-6
+	check := func(param *float64, analytic float64, where string) {
+		orig := *param
+		*param = orig + h
+		lp := loss()
+		*param = orig - h
+		lm := loss()
+		*param = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("%s: numeric %v vs analytic %v", where, numeric, analytic)
+		}
+	}
+	for l := range m.Weights {
+		for i := range m.Weights[l].Data {
+			if i%3 != 0 { // spot-check a third of the entries
+				continue
+			}
+			check(&m.Weights[l].Data[i], g.Weights[l].Data[i], "weight")
+		}
+		for i := range m.Biases[l] {
+			check(&m.Biases[l][i], g.Biases[l][i], "bias")
+		}
+	}
+}
+
+func TestAdamConvergesOnRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP([]int{1, 16, 1}, rng)
+	opt := NewAdam(m, 0.01)
+	g := NewGrads(m)
+
+	target := func(x float64) float64 { return math.Sin(3 * x) }
+	sample := func() (mat.Vec, float64) {
+		x := rng.Float64()*2 - 1
+		return mat.Vec{x}, target(x)
+	}
+	mse := func() float64 {
+		s := 0.0
+		for i := 0; i < 200; i++ {
+			x := -1 + 2*float64(i)/199
+			d := m.Forward(mat.Vec{x})[0] - target(x)
+			s += d * d
+		}
+		return s / 200
+	}
+
+	before := mse()
+	for step := 0; step < 3000; step++ {
+		g.Zero()
+		for b := 0; b < 16; b++ {
+			x, y := sample()
+			out := m.Forward(x)
+			m.Accumulate(g, x, mat.Vec{2 * (out[0] - y) / 16})
+		}
+		opt.Step(m, g)
+	}
+	after := mse()
+	if after > before/10 || after > 0.05 {
+		t.Errorf("Adam failed to fit: MSE %v -> %v", before, after)
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP([]int{2, 3, 1}, rng)
+	c := m.Clone()
+	x := mat.Vec{0.5, -0.5}
+	if !m.Forward(x).Equal(c.Forward(x), 0) {
+		t.Fatal("clone differs")
+	}
+	// Mutating the clone must not affect the original.
+	c.Weights[0].Data[0] += 1
+	if m.Forward(x).Equal(c.Forward(x), 1e-12) {
+		t.Error("clone aliases original parameters")
+	}
+	m.CopyFrom(c)
+	if !m.Forward(x).Equal(c.Forward(x), 0) {
+		t.Error("CopyFrom did not synchronize parameters")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP([]int{3, 7, 2}, rng)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MLP
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	x := mat.Vec{0.1, 0.2, -0.3}
+	if !m.Forward(x).Equal(back.Forward(x), 0) {
+		t.Error("round-tripped network computes differently")
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	var m MLP
+	if err := json.Unmarshal([]byte(`{"sizes":[2,3],"weights":[[1,2]],"biases":[[0,0,0]]}`), &m); err == nil {
+		t.Error("corrupt shape accepted")
+	}
+}

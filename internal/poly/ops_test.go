@@ -1,0 +1,156 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oic/internal/mat"
+)
+
+func TestErodeMappedMatchesExplicitImage(t *testing.T) {
+	// P ⊖ (M·Q) via support tightening must equal Erode(P, image(M, Q))
+	// when the image is computable (M invertible).
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		p := randomPoly2D(t, rng)
+		q := Box([]float64{-0.3, -0.2}, []float64{0.3, 0.2})
+		m := mat.FromRows([][]float64{
+			{1 + 0.5*rng.Float64(), 0.2 * rng.NormFloat64()},
+			{0.2 * rng.NormFloat64(), 1 + 0.5*rng.Float64()},
+		})
+		viaSupport, err := ErodeMapped(p, m, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := q.ImageAffine(m, mat.Vec{0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaImage, err := Erode(p, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaSupport.IsEmpty() && viaImage.IsEmpty() {
+			continue
+		}
+		mustSameSet(t, viaSupport, viaImage)
+	}
+}
+
+func TestErodeMappedDegenerateDirection(t *testing.T) {
+	// Mapping a 1-D disturbance into 2-D: the ACC's W = [-1,1]×{0} pattern.
+	p := Box([]float64{-10, -10}, []float64{10, 10})
+	m := mat.FromRows([][]float64{{1}, {0}})
+	q := Box([]float64{-1}, []float64{1})
+	e, err := ErodeMapped(p, m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSameSet(t, e, Box([]float64{-9, -10}, []float64{9, 10}))
+}
+
+// ReduceRedundancy must preserve the set exactly on random polytopes with
+// injected redundant rows.
+func TestReduceRedundancyPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		p := randomPoly2D(t, rng)
+		// Inject duplicates and slack rows.
+		rows := [][]float64{}
+		b := mat.Vec{}
+		for i := 0; i < p.A.R; i++ {
+			rows = append(rows, p.A.Row(i))
+			b = append(b, p.B[i])
+		}
+		for k := 0; k < 3; k++ {
+			i := rng.Intn(p.A.R)
+			rows = append(rows, p.A.Row(i))
+			b = append(b, p.B[i]+1+rng.Float64()) // strictly slack
+		}
+		fat := New(mat.FromRows(rows), b)
+		red := fat.ReduceRedundancy()
+		if red.NumRows() > p.A.R {
+			t.Fatalf("trial %d: reduction kept %d rows (original %d)", trial, red.NumRows(), p.A.R)
+		}
+		mustSameSet(t, red, p)
+	}
+}
+
+// Erosion is antitone in the structuring element: Q1 ⊆ Q2 ⇒ P⊖Q2 ⊆ P⊖Q1.
+func TestErodeMonotonicityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 25; trial++ {
+		p := randomPoly2D(t, rng)
+		small := Box([]float64{-0.1, -0.1}, []float64{0.1, 0.1})
+		big := Box([]float64{-0.3, -0.3}, []float64{0.3, 0.3})
+		e1, err := Erode(p, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := Erode(p, big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e2.IsEmpty() {
+			continue
+		}
+		ok, err := e1.Covers(e2, 1e-7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: erosion not antitone", trial)
+		}
+	}
+}
+
+// Chebyshev center must be deep: the ball around it stays inside.
+func TestChebyshevDeepProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 25; trial++ {
+		p := randomPoly2D(t, rng)
+		c, r, err := p.Chebyshev()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < 0 {
+			t.Fatalf("negative radius %v", r)
+		}
+		for k := 0; k < 8; k++ {
+			theta := 2 * math.Pi * float64(k) / 8
+			x := mat.Vec{c[0] + 0.999*r*math.Cos(theta), c[1] + 0.999*r*math.Sin(theta)}
+			if !p.Contains(x, 1e-7) {
+				t.Fatalf("trial %d: inscribed ball pokes out at %v", trial, x)
+			}
+		}
+	}
+}
+
+// Intersection is the greatest lower bound: P∩Q ⊆ P, P∩Q ⊆ Q, and any
+// sampled point of both is in the intersection.
+func TestIntersectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 20; trial++ {
+		p := randomPoly2D(t, rng)
+		q := p.Translate(mat.Vec{0.5 * rng.NormFloat64(), 0.5 * rng.NormFloat64()})
+		in := Intersect(p, q)
+		if in.IsEmpty() {
+			continue
+		}
+		okP, _ := p.Covers(in, 1e-7)
+		okQ, _ := q.Covers(in, 1e-7)
+		if !okP || !okQ {
+			t.Fatalf("trial %d: intersection not contained in operands", trial)
+		}
+		pts, err := in.Sample(10, rng.Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range pts {
+			if !p.Contains(x, 1e-9) || !q.Contains(x, 1e-9) {
+				t.Fatalf("trial %d: sampled intersection point outside an operand", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package poly
+
+import (
+	"fmt"
+
+	"oic/internal/mat"
+)
+
+// EliminateVar projects the polytope onto the coordinates other than j by
+// Fourier–Motzkin elimination: every pair of rows with opposite signs on
+// variable j combines into one row without it. The result lives in
+// dimension Dim()−1 (variable j's column removed) and is redundancy-reduced
+// to keep row growth under control.
+func (p *Polytope) EliminateVar(j int) *Polytope {
+	n := p.Dim()
+	if j < 0 || j >= n {
+		panic(fmt.Sprintf("poly: EliminateVar: variable %d out of range [0,%d)", j, n))
+	}
+	const tol = 1e-11
+	var pos, neg, zero []int
+	for i := 0; i < p.A.R; i++ {
+		c := p.A.At(i, j)
+		switch {
+		case c > tol:
+			pos = append(pos, i)
+		case c < -tol:
+			neg = append(neg, i)
+		default:
+			zero = append(zero, i)
+		}
+	}
+
+	drop := func(row mat.Vec) mat.Vec {
+		out := make(mat.Vec, 0, n-1)
+		out = append(out, row[:j]...)
+		out = append(out, row[j+1:]...)
+		return out
+	}
+
+	rows := make([]mat.Vec, 0, len(zero)+len(pos)*len(neg))
+	rhs := make(mat.Vec, 0, cap(rows))
+	for _, i := range zero {
+		rows = append(rows, drop(p.A.Row(i)))
+		rhs = append(rhs, p.B[i])
+	}
+	for _, ip := range pos {
+		cp := p.A.At(ip, j)
+		rp := p.A.Row(ip)
+		for _, in := range neg {
+			cn := -p.A.At(in, j)
+			rn := p.A.Row(in)
+			// cn·rowP + cp·rowN has coefficient cn·cp − cp·cn = 0 on var j.
+			comb := make(mat.Vec, n)
+			for k := 0; k < n; k++ {
+				comb[k] = cn*rp[k] + cp*rn[k]
+			}
+			rows = append(rows, drop(comb))
+			rhs = append(rhs, cn*p.B[ip]+cp*p.B[in])
+		}
+	}
+
+	a := mat.New(len(rows), n-1)
+	for i, r := range rows {
+		for k := 0; k < n-1; k++ {
+			a.Set(i, k, r[k])
+		}
+	}
+	return New(a, rhs).ReduceRedundancy()
+}
+
+// Project returns the orthogonal projection of the polytope onto the given
+// coordinate subset (in the given order), eliminating every other variable
+// by Fourier–Motzkin. keep must list distinct, valid coordinate indices.
+func (p *Polytope) Project(keep []int) *Polytope {
+	n := p.Dim()
+	inKeep := make([]bool, n)
+	for _, k := range keep {
+		if k < 0 || k >= n {
+			panic(fmt.Sprintf("poly: Project: coordinate %d out of range", k))
+		}
+		if inKeep[k] {
+			panic(fmt.Sprintf("poly: Project: duplicate coordinate %d", k))
+		}
+		inKeep[k] = true
+	}
+
+	// Eliminate discarded variables from the highest index down so lower
+	// indices remain stable during elimination.
+	q := p
+	for j := n - 1; j >= 0; j-- {
+		if !inKeep[j] {
+			q = q.EliminateVar(j)
+		}
+	}
+
+	// q's coordinates are the kept ones in increasing order; permute to the
+	// requested order.
+	sorted := make([]int, 0, len(keep))
+	for j := 0; j < n; j++ {
+		if inKeep[j] {
+			sorted = append(sorted, j)
+		}
+	}
+	perm := make([]int, len(keep)) // perm[c] = column of q holding keep[c]
+	for c, k := range keep {
+		for s, orig := range sorted {
+			if orig == k {
+				perm[c] = s
+				break
+			}
+		}
+	}
+	a := mat.New(q.A.R, len(keep))
+	for i := 0; i < q.A.R; i++ {
+		for c := range keep {
+			a.Set(i, c, q.A.At(i, perm[c]))
+		}
+	}
+	return New(a, q.B.Clone())
+}

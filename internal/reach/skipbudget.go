@@ -1,0 +1,58 @@
+package reach
+
+import (
+	"fmt"
+
+	"oic/internal/lti"
+	"oic/internal/poly"
+)
+
+// ConsecutiveSkipSets generalizes the strengthened safe set to multi-step
+// skip budgets: it returns S₁ … S_m where
+//
+//	S₁ = B(XI, 0) ∩ XI            (the paper's X′)
+//	S_k = B(S_{k−1}, 0) ∩ XI,
+//
+// so x ∈ S_k guarantees that k consecutive zero-input steps keep the state
+// inside XI at every intermediate step, for every admissible disturbance
+// sequence. The chain is monotone decreasing (S_{k+1} ⊆ S_k); computation
+// stops early when a set becomes empty (the returned slice is shorter) or
+// when the chain reaches a fixed point (the remaining entries share the
+// fixed point, which then tolerates unbounded skipping).
+//
+// This connects the framework to the weakly-hard real-time literature the
+// paper builds on ([4]–[6]): membership in S_k certifies an (m, K)-style
+// skip pattern without any online monitoring during the committed window.
+func ConsecutiveSkipSets(xi *poly.Polytope, sys *lti.System, maxSkips int) ([]*poly.Polytope, error) {
+	if maxSkips < 1 {
+		return nil, fmt.Errorf("reach: ConsecutiveSkipSets: maxSkips %d < 1", maxSkips)
+	}
+	out := make([]*poly.Polytope, 0, maxSkips)
+	prev := xi
+	for k := 1; k <= maxSkips; k++ {
+		b0, err := Backward(prev, sys)
+		if err != nil {
+			return nil, fmt.Errorf("reach: ConsecutiveSkipSets: step %d: %w", k, err)
+		}
+		sk := poly.Intersect(b0, xi).ReduceRedundancy()
+		if sk.IsEmpty() {
+			return out, nil
+		}
+		if len(out) > 0 {
+			same, err := sk.Covers(out[len(out)-1], 1e-9)
+			if err != nil {
+				return nil, err
+			}
+			if same {
+				// Fixed point: every further budget level equals this set.
+				for ; k <= maxSkips; k++ {
+					out = append(out, sk)
+				}
+				return out, nil
+			}
+		}
+		out = append(out, sk)
+		prev = sk
+	}
+	return out, nil
+}

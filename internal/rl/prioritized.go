@@ -1,0 +1,131 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PrioritizedReplay is a proportional prioritized experience replay buffer
+// (Schaul et al. 2016): transitions are sampled with probability
+// pᵢ^α / Σ p^α where pᵢ is the last absolute TD error, and gradient updates
+// are corrected with importance-sampling weights (N·P(i))^−β. A sum tree
+// gives O(log n) insertion and sampling.
+//
+// It is the opt-in alternative to the uniform Replay buffer
+// (Config.Prioritized); the paper's agent uses uniform sampling.
+type PrioritizedReplay struct {
+	cap   int
+	alpha float64
+
+	tree  []float64 // binary sum tree over capacity leaves
+	data  []Transition
+	next  int
+	size  int
+	maxPr float64 // priority assigned to fresh transitions
+}
+
+// NewPrioritizedReplay returns a buffer with the given capacity and
+// prioritization exponent α (0 = uniform, 1 = fully proportional).
+func NewPrioritizedReplay(capacity int, alpha float64) *PrioritizedReplay {
+	if capacity < 1 {
+		panic("rl: NewPrioritizedReplay: capacity must be positive")
+	}
+	// Round capacity up to a power of two for a complete tree.
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &PrioritizedReplay{
+		cap:   c,
+		alpha: alpha,
+		tree:  make([]float64, 2*c),
+		data:  make([]Transition, c),
+		maxPr: 1,
+	}
+}
+
+// Len returns the number of stored transitions.
+func (r *PrioritizedReplay) Len() int { return r.size }
+
+// Add stores a transition with the current maximum priority so that every
+// experience is replayed at least once with high probability.
+func (r *PrioritizedReplay) Add(tr Transition) {
+	i := r.next
+	r.data[i] = tr
+	r.setPriority(i, r.maxPr)
+	r.next = (r.next + 1) % r.cap
+	if r.size < r.cap {
+		r.size++
+	}
+}
+
+// setPriority writes p^α into leaf i and updates the path to the root.
+func (r *PrioritizedReplay) setPriority(i int, p float64) {
+	v := math.Pow(p+1e-8, r.alpha)
+	node := r.cap + i
+	delta := v - r.tree[node]
+	for node >= 1 {
+		r.tree[node] += delta
+		node >>= 1
+	}
+}
+
+// total returns Σ p^α.
+func (r *PrioritizedReplay) total() float64 { return r.tree[1] }
+
+// sampleIndex draws a leaf proportionally to its priority mass.
+func (r *PrioritizedReplay) sampleIndex(u float64) int {
+	node := 1
+	target := u * r.total()
+	for node < r.cap {
+		left := 2 * node
+		if target <= r.tree[left] || r.tree[2*node+1] == 0 {
+			node = left
+		} else {
+			target -= r.tree[left]
+			node = left + 1
+		}
+	}
+	i := node - r.cap
+	if i >= r.size { // numeric edge: clamp into the filled region
+		i = r.size - 1
+	}
+	return i
+}
+
+// Sample draws n transitions with proportional prioritization and returns
+// them with their indices and importance-sampling weights normalized to a
+// maximum of 1. beta is the IS correction exponent.
+func (r *PrioritizedReplay) Sample(n int, beta float64, rng *rand.Rand) ([]Transition, []int, []float64) {
+	trs := make([]Transition, n)
+	idx := make([]int, n)
+	ws := make([]float64, n)
+	total := r.total()
+	maxW := 0.0
+	for k := 0; k < n; k++ {
+		i := r.sampleIndex(rng.Float64())
+		idx[k] = i
+		trs[k] = r.data[i]
+		p := r.tree[r.cap+i] / total
+		w := math.Pow(float64(r.size)*p, -beta)
+		ws[k] = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 0 {
+		for k := range ws {
+			ws[k] /= maxW
+		}
+	}
+	return trs, idx, ws
+}
+
+// UpdatePriority records the new absolute TD error of a sampled transition.
+func (r *PrioritizedReplay) UpdatePriority(i int, tdErr float64) {
+	p := math.Abs(tdErr)
+	if p > r.maxPr {
+		r.maxPr = p
+	}
+	r.setPriority(i, p)
+}

@@ -1,0 +1,147 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oic/internal/mat"
+)
+
+func TestPrioritizedSumTreeConsistency(t *testing.T) {
+	r := NewPrioritizedReplay(8, 1)
+	for i := 0; i < 8; i++ {
+		r.Add(Transition{R: float64(i)})
+	}
+	// Fresh transitions share the max priority: total = 8 · (1+1e-8)^1.
+	if math.Abs(r.total()-8*(1+1e-8)) > 1e-6 {
+		t.Errorf("total = %v", r.total())
+	}
+	// Push one priority up; its sampling frequency must dominate.
+	r.UpdatePriority(3, 100)
+	rng := rand.New(rand.NewSource(1))
+	hits := 0
+	for k := 0; k < 2000; k++ {
+		if r.sampleIndex(rng.Float64()) == 3 {
+			hits++
+		}
+	}
+	if hits < 1500 {
+		t.Errorf("high-priority leaf sampled only %d/2000", hits)
+	}
+}
+
+func TestPrioritizedSamplingDistribution(t *testing.T) {
+	r := NewPrioritizedReplay(4, 1)
+	for i := 0; i < 4; i++ {
+		r.Add(Transition{R: float64(i)})
+	}
+	// Priorities 1, 2, 3, 4 → probabilities ∝ i+1.
+	for i := 0; i < 4; i++ {
+		r.UpdatePriority(i, float64(i+1))
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 4)
+	const n = 40000
+	for k := 0; k < n; k++ {
+		counts[r.sampleIndex(rng.Float64())]++
+	}
+	for i := 0; i < 4; i++ {
+		want := float64(i+1) / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("leaf %d frequency %v, want ≈ %v", i, got, want)
+		}
+	}
+}
+
+func TestPrioritizedISWeights(t *testing.T) {
+	r := NewPrioritizedReplay(4, 1)
+	for i := 0; i < 4; i++ {
+		r.Add(Transition{})
+	}
+	r.UpdatePriority(0, 10)
+	for i := 1; i < 4; i++ {
+		r.UpdatePriority(i, 1)
+	}
+	rng := rand.New(rand.NewSource(3))
+	_, idx, ws := r.Sample(64, 1, rng)
+	// High-priority samples must carry LOWER IS weights than rare ones.
+	var wHigh, wLow float64
+	var nHigh, nLow int
+	for k, i := range idx {
+		if i == 0 {
+			wHigh += ws[k]
+			nHigh++
+		} else {
+			wLow += ws[k]
+			nLow++
+		}
+	}
+	if nHigh == 0 || nLow == 0 {
+		t.Skip("sampling did not cover both priority classes")
+	}
+	if wHigh/float64(nHigh) >= wLow/float64(nLow) {
+		t.Errorf("IS weights not inverse to priority: high %v vs low %v",
+			wHigh/float64(nHigh), wLow/float64(nLow))
+	}
+	for _, w := range ws {
+		if w < 0 || w > 1+1e-12 {
+			t.Fatalf("weight %v outside (0,1]", w)
+		}
+	}
+}
+
+func TestPrioritizedRingOverwrite(t *testing.T) {
+	r := NewPrioritizedReplay(2, 1)
+	for i := 0; i < 5; i++ {
+		r.Add(Transition{R: float64(i)})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	rng := rand.New(rand.NewSource(4))
+	trs, _, _ := r.Sample(50, 0.5, rng)
+	for _, tr := range trs {
+		if tr.R < 3 {
+			t.Fatalf("evicted transition %v sampled", tr.R)
+		}
+	}
+}
+
+func TestDDQNPrioritizedLearnsBandit(t *testing.T) {
+	agent, err := NewDDQN(Config{
+		StateDim: 1, NumActions: 2, Hidden: []int{8},
+		EpsDecay: 300, WarmUp: 20, TargetSync: 50, BatchSize: 8, Seed: 42,
+		Prioritized: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &twoArmedBandit{state: mat.Vec{1}}
+	if _, err := Train(agent, env, 600, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := agent.Greedy(mat.Vec{1}); got != 1 {
+		t.Errorf("greedy action = %d (q=%v)", got, agent.QValues(mat.Vec{1}))
+	}
+}
+
+func TestBetaAnneal(t *testing.T) {
+	agent, err := NewDDQN(Config{
+		StateDim: 1, NumActions: 2, Prioritized: true,
+		EpsDecay: 100, WarmUp: 1 << 30, PriorityBeta: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := agent.beta(); math.Abs(b-0.4) > 1e-12 {
+		t.Errorf("initial beta = %v", b)
+	}
+	for i := 0; i < 200; i++ {
+		agent.Observe(Transition{S: mat.Vec{0}, S2: mat.Vec{0}})
+	}
+	if b := agent.beta(); math.Abs(b-1) > 1e-12 {
+		t.Errorf("final beta = %v", b)
+	}
+}

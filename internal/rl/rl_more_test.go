@@ -1,0 +1,97 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+
+	"oic/internal/mat"
+)
+
+func TestTargetNetworkSync(t *testing.T) {
+	agent, err := NewDDQN(Config{
+		StateDim: 1, NumActions: 2, Hidden: []int{4},
+		TargetSync: 10, WarmUp: 5, BatchSize: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mat.Vec{0.5}
+	tr := Transition{S: s, A: 0, R: 1, S2: s, Done: true}
+	// After WarmUp the online net trains every step and diverges from the
+	// target; on the sync step they must coincide again.
+	for i := 0; i < 9; i++ {
+		agent.Observe(tr)
+	}
+	qOnline := agent.online.Forward(s)
+	qTarget := agent.target.Forward(s)
+	if qOnline.Equal(qTarget, 1e-12) {
+		t.Fatal("online never diverged from target; test ineffective")
+	}
+	agent.Observe(tr) // step 10: sync
+	qOnline = agent.online.Forward(s)
+	qTarget = agent.target.Forward(s)
+	if !qOnline.Equal(qTarget, 0) {
+		t.Error("target not synced on TargetSync boundary")
+	}
+}
+
+func TestWarmUpDefersTraining(t *testing.T) {
+	agent, err := NewDDQN(Config{StateDim: 1, NumActions: 2, WarmUp: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Transition{S: mat.Vec{0}, A: 0, R: 0, S2: mat.Vec{0}, Done: true}
+	for i := 0; i < 49; i++ {
+		agent.Observe(tr)
+	}
+	if agent.TrainOps() != 0 {
+		t.Errorf("trained before warm-up: %d ops", agent.TrainOps())
+	}
+	agent.Observe(tr)
+	if agent.TrainOps() != 1 {
+		t.Errorf("train ops after warm-up = %d, want 1", agent.TrainOps())
+	}
+}
+
+func TestActExploresAndExploits(t *testing.T) {
+	agent, err := NewDDQN(Config{
+		StateDim: 1, NumActions: 2, Hidden: []int{4},
+		EpsStart: 1.0, EpsEnd: 1.0, EpsDecay: 1, WarmUp: 1 << 30, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ε pinned to 1, actions must be (pseudo)uniform.
+	s := mat.Vec{0}
+	counts := [2]int{}
+	for i := 0; i < 400; i++ {
+		counts[agent.Act(s)]++
+	}
+	if counts[0] < 120 || counts[1] < 120 {
+		t.Errorf("exploration skewed: %v", counts)
+	}
+}
+
+func TestTrainPropagatesEnvErrors(t *testing.T) {
+	agent, err := NewDDQN(Config{StateDim: 1, NumActions: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &erroringEnv{}
+	if _, err := Train(agent, env, 1, 5); err == nil {
+		t.Error("env error swallowed")
+	}
+}
+
+type erroringEnv struct{ calls int }
+
+func (e *erroringEnv) Reset(*rand.Rand) (mat.Vec, error) { return mat.Vec{0}, nil }
+func (e *erroringEnv) Step(int) (mat.Vec, float64, bool, error) {
+	return nil, 0, false, errTest
+}
+
+var errTest = &envError{}
+
+type envError struct{}
+
+func (*envError) Error() string { return "env exploded" }

@@ -1,0 +1,200 @@
+// Package stats provides the small descriptive-statistics toolkit used by
+// the experiment harness: summaries, percentiles, and fixed-bin histograms
+// with ASCII rendering for terminal reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64 // sample standard deviation (n−1)
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero value.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		s.Mean += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics. It panics on an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram counts samples into len(Edges)−1 bins [Edges[i], Edges[i+1]),
+// with explicit underflow and overflow counters.
+type Histogram struct {
+	Edges     []float64
+	Counts    []int
+	Underflow int
+	Overflow  int
+}
+
+// NewHistogram returns a histogram over the given strictly increasing bin
+// edges.
+func NewHistogram(edges []float64) *Histogram {
+	if len(edges) < 2 {
+		panic("stats: NewHistogram needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("stats: NewHistogram edges must increase")
+		}
+	}
+	return &Histogram{Edges: append([]float64(nil), edges...), Counts: make([]int, len(edges)-1)}
+}
+
+// Add counts one sample.
+func (h *Histogram) Add(x float64) {
+	if x < h.Edges[0] {
+		h.Underflow++
+		return
+	}
+	if x >= h.Edges[len(h.Edges)-1] {
+		h.Overflow++
+		return
+	}
+	i := sort.SearchFloat64s(h.Edges, x)
+	// SearchFloat64s returns the insertion point; bin index is point−1
+	// except when x equals an edge exactly.
+	if i < len(h.Edges) && h.Edges[i] == x {
+		h.Counts[i]++
+		return
+	}
+	h.Counts[i-1]++
+}
+
+// Total returns the number of in-range samples.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// BinLabel renders bin i as "lo–hi".
+func (h *Histogram) BinLabel(i int) string {
+	return fmt.Sprintf("%g–%g", h.Edges[i], h.Edges[i+1])
+}
+
+// RenderGrouped renders one or more histograms with identical edges as a
+// grouped ASCII bar chart (one row per bin, one bar per series). width is
+// the maximum bar length in characters.
+func RenderGrouped(names []string, hists []*Histogram, width int) string {
+	if len(names) != len(hists) || len(hists) == 0 {
+		panic("stats: RenderGrouped: names/hists mismatch")
+	}
+	edges := hists[0].Edges
+	for _, h := range hists[1:] {
+		if len(h.Edges) != len(edges) {
+			panic("stats: RenderGrouped: histograms must share edges")
+		}
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := 1
+	for _, h := range hists {
+		for _, c := range h.Counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		if h.Underflow > maxCount {
+			maxCount = h.Underflow
+		}
+	}
+	var b strings.Builder
+	bar := func(c int) string {
+		n := c * width / maxCount
+		return strings.Repeat("█", n)
+	}
+	anyUnder := false
+	for _, h := range hists {
+		if h.Underflow > 0 {
+			anyUnder = true
+		}
+	}
+	if anyUnder {
+		fmt.Fprintf(&b, "%12s\n", "< "+fmt.Sprint(edges[0]))
+		for s, h := range hists {
+			fmt.Fprintf(&b, "  %-18s %4d %s\n", names[s], h.Underflow, bar(h.Underflow))
+		}
+	}
+	for i := 0; i < len(edges)-1; i++ {
+		fmt.Fprintf(&b, "%12s\n", hists[0].BinLabel(i))
+		for s, h := range hists {
+			fmt.Fprintf(&b, "  %-18s %4d %s\n", names[s], h.Counts[i], bar(h.Counts[i]))
+		}
+	}
+	return b.String()
+}
+
+// RenderSeries renders labeled values as an ASCII bar chart, scaling bars
+// to the maximum absolute value.
+func RenderSeries(labels []string, values []float64, unit string, width int) string {
+	if len(labels) != len(values) {
+		panic("stats: RenderSeries: labels/values mismatch")
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxAbs := 1e-12
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(math.Abs(v) / maxAbs * float64(width))
+		fmt.Fprintf(&b, "%-14s %8.2f%s %s\n", labels[i], v, unit, strings.Repeat("█", n))
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2, 75: 4}
+	for p, want := range cases {
+		if got := Percentile(xs, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if got := Percentile([]float64{1, 2}, 50); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("interpolated median = %v", got)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0, 10, 20, 30})
+	for _, x := range []float64{-5, 0, 5, 9.999, 10, 25, 30, 99} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 {
+		t.Errorf("underflow = %d", h.Underflow)
+	}
+	if h.Overflow != 2 { // 30 and 99
+		t.Errorf("overflow = %d", h.Overflow)
+	}
+	want := []int{3, 1, 1} // {0,5,9.999}, {10}, {25}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramEdgeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nonincreasing edges")
+		}
+	}()
+	NewHistogram([]float64{0, 0})
+}
+
+func TestRenderGrouped(t *testing.T) {
+	a := NewHistogram([]float64{0, 10, 20})
+	b := NewHistogram([]float64{0, 10, 20})
+	a.Add(5)
+	a.Add(15)
+	b.Add(-1)
+	out := RenderGrouped([]string{"alpha", "beta"}, []*Histogram{a, b}, 20)
+	for _, want := range []string{"alpha", "beta", "0–10", "10–20", "< 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries([]string{"Ex.1", "Ex.2"}, []float64{5, 10}, "%", 10)
+	if !strings.Contains(out, "Ex.1") || !strings.Contains(out, "10.00%") {
+		t.Errorf("render output:\n%s", out)
+	}
+	// The larger value must have the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "█") <= strings.Count(lines[0], "█") {
+		t.Error("bar lengths not proportional")
+	}
+}
+
+func TestBinLabel(t *testing.T) {
+	h := NewHistogram([]float64{0, 10, 20})
+	if h.BinLabel(0) != "0–10" {
+		t.Errorf("label = %q", h.BinLabel(0))
+	}
+}

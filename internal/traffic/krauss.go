@@ -1,0 +1,169 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Krauss is the Krauß car-following model, SUMO's default: a driver keeps
+// the largest speed that still allows stopping safely behind the leader,
+// minus a stochastic imperfection.
+//
+//	v_safe = −b·τ + sqrt((b·τ)² + v_lead² + 2·b·gap)
+//	v_des  = min(v + a·Δt, v_safe, v_max)
+//	v⁺     = max(0, v_des − σ·a·Δt·U[0,1])
+//
+// It generates the emergent stop-and-go waves the paper's introduction
+// motivates ("stop-and-go in a traffic jam") without needing SUMO itself.
+type Krauss struct {
+	Accel float64 // maximum acceleration a (m/s²)
+	Decel float64 // comfortable deceleration b (m/s²)
+	Tau   float64 // driver reaction time τ (s)
+	Sigma float64 // imperfection σ ∈ [0, 1]
+	VMax  float64 // speed limit
+	Delta float64 // simulation step Δt (s)
+}
+
+// DefaultKrauss returns passenger-car parameters in SUMO's default range.
+func DefaultKrauss() Krauss {
+	return Krauss{Accel: 2.6, Decel: 4.5, Tau: 1.0, Sigma: 0.5, VMax: 55, Delta: 0.1}
+}
+
+// SafeSpeed returns the Krauß safe speed for the given bumper-to-bumper gap
+// and leader speed.
+func (k Krauss) SafeSpeed(gap, vLeader float64) float64 {
+	if gap <= 0 {
+		return 0
+	}
+	bt := k.Decel * k.Tau
+	return -bt + math.Sqrt(bt*bt+vLeader*vLeader+2*k.Decel*gap)
+}
+
+// Step advances one follower: given its speed, the gap to its leader, and
+// the leader's speed, it returns the follower's next speed.
+func (k Krauss) Step(v, gap, vLeader float64, rng *rand.Rand) float64 {
+	des := v + k.Accel*k.Delta
+	if safe := k.SafeSpeed(gap, vLeader); safe < des {
+		des = safe
+	}
+	if des > k.VMax {
+		des = k.VMax
+	}
+	if rng != nil && k.Sigma > 0 {
+		des -= k.Sigma * k.Accel * k.Delta * rng.Float64()
+	}
+	if des < 0 {
+		return 0
+	}
+	return des
+}
+
+// Platoon simulates a column of Krauß followers behind a scripted head
+// vehicle and reports the speed trace of the last follower — the vehicle
+// an ego ACC would actually face inside congested traffic. Waves amplify
+// down the platoon, producing realistic stop-and-go oscillations.
+type Platoon struct {
+	Model     Krauss
+	N         int     // number of followers (≥ 1)
+	Head      Profile // speed trace of the platoon head
+	InitGap   float64 // initial bumper-to-bumper gaps (default 30 m)
+	InitSpeed float64 // initial speed of every follower (default head's first sample)
+
+	// Min/Max clamp the reported trace so it can drive a controller whose
+	// disturbance set was designed for that speed range. Zero values mean
+	// no clamping.
+	Min, Max float64
+}
+
+// Generate implements Profile.
+func (p Platoon) Generate(rng *rand.Rand, steps int) []float64 {
+	if p.N < 1 {
+		panic("traffic: Platoon: need at least one follower")
+	}
+	head := p.Head.Generate(rng, steps)
+	gap := p.InitGap
+	if gap <= 0 {
+		gap = 30
+	}
+	dt := p.Model.Delta
+	if dt <= 0 {
+		dt = 0.1
+	}
+
+	// Positions and speeds: index 0 is the scripted head.
+	pos := make([]float64, p.N+1)
+	vel := make([]float64, p.N+1)
+	v0 := p.InitSpeed
+	if v0 == 0 && steps > 0 {
+		v0 = head[0]
+	}
+	for i := 0; i <= p.N; i++ {
+		pos[i] = -float64(i) * gap
+		vel[i] = v0
+	}
+
+	out := make([]float64, steps)
+	for t := 0; t < steps; t++ {
+		vel[0] = head[t]
+		// Update followers back to front using current leader states.
+		for i := 1; i <= p.N; i++ {
+			g := pos[i-1] - pos[i] - 5 // 5 m vehicle length
+			vel[i] = p.Model.Step(vel[i], g, vel[i-1], rng)
+		}
+		for i := 0; i <= p.N; i++ {
+			pos[i] += vel[i] * dt
+		}
+		v := vel[p.N]
+		if p.Max > p.Min {
+			v = clampRange(v, p.Min, p.Max)
+		}
+		out[t] = v
+	}
+	return out
+}
+
+// Name implements Profile.
+func (p Platoon) Name() string {
+	return fmt.Sprintf("platoon(n=%d,head=%s)", p.N, p.Head.Name())
+}
+
+// SquareWave is a scripted stop-and-go head vehicle: VHigh for HighSteps,
+// then VLow for LowSteps, repeating. Speed ramps are limited by Ramp per
+// step so the trace stays physically plausible.
+type SquareWave struct {
+	VHigh, VLow         float64
+	HighSteps, LowSteps int
+	Ramp                float64 // max speed change per step (default: instant)
+}
+
+// Generate implements Profile.
+func (w SquareWave) Generate(_ *rand.Rand, steps int) []float64 {
+	period := w.HighSteps + w.LowSteps
+	if period <= 0 {
+		panic("traffic: SquareWave: period must be positive")
+	}
+	out := make([]float64, steps)
+	v := w.VHigh
+	for t := 0; t < steps; t++ {
+		target := w.VHigh
+		if t%period >= w.HighSteps {
+			target = w.VLow
+		}
+		if w.Ramp > 0 {
+			if target > v+w.Ramp {
+				target = v + w.Ramp
+			} else if target < v-w.Ramp {
+				target = v - w.Ramp
+			}
+		}
+		v = target
+		out[t] = v
+	}
+	return out
+}
+
+// Name implements Profile.
+func (w SquareWave) Name() string {
+	return fmt.Sprintf("square(%g/%g)", w.VHigh, w.VLow)
+}

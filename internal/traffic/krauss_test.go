@@ -1,0 +1,142 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSafeSpeedProperties(t *testing.T) {
+	k := DefaultKrauss()
+	// Zero gap forces a stop.
+	if v := k.SafeSpeed(0, 30); v != 0 {
+		t.Errorf("safe speed at zero gap = %v", v)
+	}
+	// Monotone in gap and in leader speed.
+	prev := -1.0
+	for gap := 1.0; gap <= 100; gap += 10 {
+		v := k.SafeSpeed(gap, 20)
+		if v <= prev {
+			t.Fatalf("safe speed not increasing in gap at %v", gap)
+		}
+		prev = v
+	}
+	if k.SafeSpeed(30, 10) >= k.SafeSpeed(30, 30) {
+		t.Error("safe speed not increasing in leader speed")
+	}
+}
+
+func TestSafeSpeedStoppingGuarantee(t *testing.T) {
+	// Following at exactly the safe speed, a follower that brakes at b
+	// while the leader brakes at b too must not collide. Simulate the
+	// emergency braking envelope.
+	k := DefaultKrauss()
+	k.Sigma = 0 // deterministic
+	gap := 25.0
+	vl := 30.0
+	v := k.SafeSpeed(gap, vl)
+	pos, posL := 0.0, gap+5 // leader 5 m vehicle length ahead of bumper
+	for step := 0; step < 2000; step++ {
+		v = math.Max(0, v-k.Decel*k.Delta)
+		vl = math.Max(0, vl-k.Decel*k.Delta)
+		pos += v * k.Delta
+		posL += vl * k.Delta
+		if pos >= posL {
+			t.Fatalf("collision at step %d (gap was safe-speed certified)", step)
+		}
+		if v == 0 && vl == 0 {
+			return
+		}
+	}
+}
+
+func TestKraussStepBounds(t *testing.T) {
+	k := DefaultKrauss()
+	rng := rand.New(rand.NewSource(1))
+	v := 20.0
+	for i := 0; i < 100; i++ {
+		next := k.Step(v, 40, 25, rng)
+		if next < 0 || next > k.VMax+1e-9 {
+			t.Fatalf("speed %v out of [0, vmax]", next)
+		}
+		if next > v+k.Accel*k.Delta+1e-9 {
+			t.Fatalf("acceleration bound violated: %v -> %v", v, next)
+		}
+		v = next
+	}
+}
+
+func TestSquareWave(t *testing.T) {
+	w := SquareWave{VHigh: 40, VLow: 20, HighSteps: 5, LowSteps: 5}
+	vs := w.Generate(nil, 20)
+	if vs[0] != 40 || vs[4] != 40 {
+		t.Errorf("high phase wrong: %v", vs[:5])
+	}
+	if vs[5] != 20 || vs[9] != 20 {
+		t.Errorf("low phase wrong: %v", vs[5:10])
+	}
+	if vs[10] != 40 {
+		t.Errorf("period wrong: vs[10] = %v", vs[10])
+	}
+}
+
+func TestSquareWaveRamp(t *testing.T) {
+	w := SquareWave{VHigh: 40, VLow: 20, HighSteps: 10, LowSteps: 10, Ramp: 2}
+	vs := w.Generate(nil, 40)
+	for i := 1; i < len(vs); i++ {
+		if d := math.Abs(vs[i] - vs[i-1]); d > 2+1e-9 {
+			t.Fatalf("ramp violated at %d: %v", i, d)
+		}
+	}
+}
+
+func TestPlatoonNoCollisionAndWaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := Platoon{
+		Model: DefaultKrauss(),
+		N:     5,
+		Head:  SquareWave{VHigh: 45, VLow: 15, HighSteps: 80, LowSteps: 40, Ramp: 1},
+	}
+	vs := p.Generate(rng, 600)
+	if len(vs) != 600 {
+		t.Fatalf("trace length %d", len(vs))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if v < 0 {
+			t.Fatalf("negative speed %v", v)
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	// The congestion wave must actually oscillate at the platoon tail.
+	if hi-lo < 10 {
+		t.Errorf("no visible stop-and-go wave: range [%v, %v]", lo, hi)
+	}
+}
+
+func TestPlatoonClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Platoon{
+		Model: DefaultKrauss(),
+		N:     3,
+		Head:  SquareWave{VHigh: 50, VLow: 10, HighSteps: 50, LowSteps: 50, Ramp: 1},
+		Min:   30, Max: 50,
+	}
+	for _, v := range p.Generate(rng, 400) {
+		if v < 30-1e-9 || v > 50+1e-9 {
+			t.Fatalf("clamped trace out of range: %v", v)
+		}
+	}
+}
+
+func TestPlatoonDeterministicWithSeed(t *testing.T) {
+	p := Platoon{Model: DefaultKrauss(), N: 2, Head: Constant{V: 30}}
+	a := p.Generate(rand.New(rand.NewSource(7)), 100)
+	b := p.Generate(rand.New(rand.NewSource(7)), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package traffic is the repository's SUMO substitute (see DESIGN.md §2):
+// a longitudinal two-vehicle micro-world providing (i) the front-vehicle
+// speed profiles the paper's experiments exercise (pure random, bounded-
+// acceleration random, and sinusoids with varying disturbance, Eq. 8), and
+// (ii) a physically-derived fuel-rate model standing in for SUMO's HBEFA
+// emission tables.
+//
+// The ego vehicle's dynamics are exactly the paper's difference equations
+// and are simulated by the control stack (package lti / core); this package
+// generates the exogenous environment and meters fuel over the resulting
+// trajectories, which is how the paper uses SUMO.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Profile generates a front-vehicle speed sequence for an episode.
+type Profile interface {
+	// Generate returns steps speed samples v_f(0..steps-1), each within
+	// the profile's configured range.
+	Generate(rng *rand.Rand, steps int) []float64
+	Name() string
+}
+
+// clampRange clips v into [lo, hi].
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Constant is a fixed-speed front vehicle (useful in tests).
+type Constant struct{ V float64 }
+
+// Generate implements Profile.
+func (c Constant) Generate(_ *rand.Rand, steps int) []float64 {
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = c.V
+	}
+	return out
+}
+
+// Name implements Profile.
+func (c Constant) Name() string { return fmt.Sprintf("constant(%g)", c.V) }
+
+// PureRandom redraws v_f uniformly in [Min, Max] at every step — the
+// paper's Ex.6, where "a drastic change is allowed instantly".
+type PureRandom struct{ Min, Max float64 }
+
+// Generate implements Profile.
+func (p PureRandom) Generate(rng *rand.Rand, steps int) []float64 {
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = p.Min + rng.Float64()*(p.Max-p.Min)
+	}
+	return out
+}
+
+// Name implements Profile.
+func (p PureRandom) Name() string { return fmt.Sprintf("pure-random[%g,%g]", p.Min, p.Max) }
+
+// BoundedRandom is a continuous random walk: at each step the front
+// vehicle picks a random acceleration in [−AccelMax, AccelMax] applied over
+// the period Delta, clamped to [Min, Max]. This is the paper's Ex.1–Ex.5
+// and Ex.7 ("the velocity can only change continuously", v_f′ ∈ [−20, 20]).
+type BoundedRandom struct {
+	Min, Max float64
+	AccelMax float64
+	Delta    float64 // control period; the paper's δ = 0.1
+}
+
+// Generate implements Profile.
+func (p BoundedRandom) Generate(rng *rand.Rand, steps int) []float64 {
+	out := make([]float64, steps)
+	v := p.Min + rng.Float64()*(p.Max-p.Min)
+	for i := range out {
+		out[i] = v
+		a := (2*rng.Float64() - 1) * p.AccelMax
+		v = clampRange(v+a*p.Delta, p.Min, p.Max)
+	}
+	return out
+}
+
+// Name implements Profile.
+func (p BoundedRandom) Name() string {
+	return fmt.Sprintf("bounded-random[%g,%g]|a|<=%g", p.Min, p.Max, p.AccelMax)
+}
+
+// Sinusoid is the paper's Eq. 8 pattern:
+//
+//	v_f(t) = VE + Amp·sin(π/2·Delta·t) + w,  w ~ U[−Noise, Noise],
+//
+// clamped to [Min, Max]. Ex.8–Ex.10 instantiate it with decreasing noise
+// (more "regularity"); Fig. 4's scenario is Amp = 9, Noise = 1.
+type Sinusoid struct {
+	VE       float64 // mean speed (paper: 40)
+	Amp      float64 // a_f
+	Noise    float64 // uniform disturbance half-range
+	Delta    float64 // control period (paper: 0.1)
+	Min, Max float64 // clamp range (paper: [30, 50])
+}
+
+// Generate implements Profile.
+func (p Sinusoid) Generate(rng *rand.Rand, steps int) []float64 {
+	out := make([]float64, steps)
+	for i := range out {
+		w := (2*rng.Float64() - 1) * p.Noise
+		v := p.VE + p.Amp*math.Sin(math.Pi/2*p.Delta*float64(i)) + w
+		out[i] = clampRange(v, p.Min, p.Max)
+	}
+	return out
+}
+
+// Name implements Profile.
+func (p Sinusoid) Name() string {
+	return fmt.Sprintf("sinusoid(amp=%g,noise=%g)", p.Amp, p.Noise)
+}
+
+// FuelModel meters fuel from speed and commanded acceleration, standing in
+// for SUMO's HBEFA tables. The ego dynamics are v̇ = u − k·v, so u is the
+// engine/brake command per unit mass: positive u demands traction power
+// P = u·v (per unit mass), negative u is (fuel-free) friction braking.
+//
+// Rate(v, u) = Idle + C1·max(0, u·v) + C2·max(0, u·v)², in volume per
+// second. The quadratic term models falling engine efficiency at high
+// power demand, which is what makes "coast, then correct hard" strategies
+// pay a premium over smooth actuation — the effect the paper's fuel
+// numbers reflect.
+type FuelModel struct {
+	Idle float64 // volume/s at zero traction
+	C1   float64 // volume per unit traction energy
+	C2   float64 // efficiency loss at high power
+}
+
+// DefaultFuelModel returns coefficients calibrated so a 100-step (10 s)
+// episode at the ACC operating point burns on the order of 10 mL,
+// comparable to a passenger car at 40 m/s. The quadratic coefficient is
+// small, matching the mildly convex power-to-fuel maps of SUMO's HBEFA
+// passenger-car classes: traction fuel scales roughly linearly with
+// commanded power, with a modest premium for hard accelerations.
+func DefaultFuelModel() *FuelModel {
+	return &FuelModel{Idle: 0.15, C1: 0.003, C2: 1e-7}
+}
+
+// Rate returns the instantaneous fuel-volume rate for ego speed v and
+// command u.
+func (f *FuelModel) Rate(v, u float64) float64 {
+	p := u * v
+	if p < 0 {
+		p = 0
+	}
+	return f.Idle + f.C1*p + f.C2*p*p
+}
+
+// Episode meters fuel and actuation energy over an ego trajectory: speeds
+// v(0..n), commands u(0..n-1), period delta. It returns total fuel volume
+// and the 1-norm actuation energy Σ|u|.
+func (f *FuelModel) Episode(v []float64, u []float64, delta float64) (fuel, energy float64) {
+	if len(v) != len(u)+1 {
+		panic(fmt.Sprintf("traffic: FuelModel.Episode: %d speeds for %d commands", len(v), len(u)))
+	}
+	for t := range u {
+		fuel += f.Rate(v[t], u[t]) * delta
+		energy += math.Abs(u[t])
+	}
+	return fuel, energy
+}

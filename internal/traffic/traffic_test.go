@@ -1,0 +1,139 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConstantProfile(t *testing.T) {
+	vs := Constant{V: 42}.Generate(nil, 10)
+	for _, v := range vs {
+		if v != 42 {
+			t.Fatalf("constant profile produced %v", v)
+		}
+	}
+}
+
+func TestPureRandomRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := PureRandom{Min: 30, Max: 50}
+	vs := p.Generate(rng, 1000)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if v < 30 || v > 50 {
+			t.Fatalf("speed %v outside [30,50]", v)
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	// With 1000 draws the empirical range should nearly fill [30, 50].
+	if lo > 31 || hi < 49 {
+		t.Errorf("empirical range [%v, %v] suspiciously narrow", lo, hi)
+	}
+}
+
+func TestBoundedRandomContinuity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := BoundedRandom{Min: 30, Max: 50, AccelMax: 20, Delta: 0.1}
+	vs := p.Generate(rng, 500)
+	for i := 1; i < len(vs); i++ {
+		if d := math.Abs(vs[i] - vs[i-1]); d > 20*0.1+1e-9 {
+			t.Fatalf("step %d jumps by %v > AccelMax·Delta", i, d)
+		}
+		if vs[i] < 30 || vs[i] > 50 {
+			t.Fatalf("speed %v outside range", vs[i])
+		}
+	}
+}
+
+func TestSinusoidShape(t *testing.T) {
+	p := Sinusoid{VE: 40, Amp: 9, Noise: 0, Delta: 0.1, Min: 30, Max: 50}
+	vs := p.Generate(rand.New(rand.NewSource(3)), 200)
+	// Period of sin(π/2·0.1·t) is 40 steps: peak near t = 10, trough near t = 30.
+	if math.Abs(vs[10]-49) > 1e-9 {
+		t.Errorf("peak vs[10] = %v, want 49", vs[10])
+	}
+	if math.Abs(vs[30]-31) > 1e-9 {
+		t.Errorf("trough vs[30] = %v, want 31", vs[30])
+	}
+	if math.Abs(vs[0]-40) > 1e-9 {
+		t.Errorf("vs[0] = %v, want 40", vs[0])
+	}
+}
+
+func TestSinusoidNoiseBounded(t *testing.T) {
+	p := Sinusoid{VE: 40, Amp: 5, Noise: 5, Delta: 0.1, Min: 30, Max: 50}
+	vs := p.Generate(rand.New(rand.NewSource(4)), 1000)
+	for i, v := range vs {
+		base := 40 + 5*math.Sin(math.Pi/2*0.1*float64(i))
+		if math.Abs(v-base) > 5+1e-9 {
+			t.Fatalf("noise at %d exceeds bound: %v vs base %v", i, v, base)
+		}
+	}
+}
+
+func TestFuelRateMonotoneInPower(t *testing.T) {
+	f := DefaultFuelModel()
+	prev := -1.0
+	for u := 0.0; u <= 40; u += 5 {
+		r := f.Rate(40, u)
+		if r <= prev {
+			t.Fatalf("fuel rate not increasing at u=%v", u)
+		}
+		prev = r
+	}
+}
+
+func TestFuelCoastingAndBrakingAtIdle(t *testing.T) {
+	f := DefaultFuelModel()
+	if got := f.Rate(40, 0); got != f.Idle {
+		t.Errorf("coasting rate = %v, want idle %v", got, f.Idle)
+	}
+	if got := f.Rate(40, -20); got != f.Idle {
+		t.Errorf("braking rate = %v, want idle %v", got, f.Idle)
+	}
+}
+
+func TestFuelQuadraticPremium(t *testing.T) {
+	// One hard correction must burn more than two gentle ones totalling the
+	// same commanded impulse — the convexity that rewards smooth control.
+	f := DefaultFuelModel()
+	hard := f.Rate(40, 20)
+	gentle := 2 * f.Rate(40, 10)
+	if hard+f.Idle <= gentle {
+		t.Errorf("no convex premium: hard+idle %v vs gentle %v", hard+f.Idle, gentle)
+	}
+}
+
+func TestEpisodeAccounting(t *testing.T) {
+	f := &FuelModel{Idle: 1, C1: 0, C2: 0}
+	v := []float64{40, 40, 40}
+	u := []float64{5, -3}
+	fuel, energy := f.Episode(v, u, 0.1)
+	if math.Abs(fuel-0.2) > 1e-12 {
+		t.Errorf("fuel = %v, want 0.2 (idle only)", fuel)
+	}
+	if math.Abs(energy-8) > 1e-12 {
+		t.Errorf("energy = %v, want 8", energy)
+	}
+}
+
+func TestEpisodeLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultFuelModel().Episode([]float64{40, 40}, []float64{1, 2}, 0.1)
+}
+
+func TestProfileNames(t *testing.T) {
+	for _, p := range []Profile{
+		Constant{V: 1}, PureRandom{}, BoundedRandom{}, Sinusoid{},
+	} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package zono implements zonotopes — centrally symmetric polytopes
+// Z = {c + Σ αᵢ·gᵢ | αᵢ ∈ [−1, 1]} given by a center and generators —
+// the workhorse representation of forward reachability analysis (Girard
+// 2005; Althoff et al.). Affine maps and Minkowski sums are exact and
+// cheap (O(generators)), which makes zonotopes the natural complement to
+// package poly's H-representation: forward tubes are propagated here,
+// membership-style checks happen against H-polytopes via support
+// functions.
+package zono
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"oic/internal/mat"
+	"oic/internal/poly"
+)
+
+// Zonotope is the set {Center + Σ αᵢ·Generators[i] | αᵢ ∈ [−1, 1]}.
+type Zonotope struct {
+	Center     mat.Vec
+	Generators []mat.Vec // each of the same dimension as Center
+}
+
+// New returns the zonotope with the given center and generators (retained,
+// not copied).
+func New(center mat.Vec, gens []mat.Vec) *Zonotope {
+	for i, g := range gens {
+		if len(g) != len(center) {
+			panic(fmt.Sprintf("zono: New: generator %d has dim %d, want %d", i, len(g), len(center)))
+		}
+	}
+	return &Zonotope{Center: center, Generators: gens}
+}
+
+// FromBox returns the axis-aligned box Π[lo, hi] as a zonotope with one
+// generator per nondegenerate dimension.
+func FromBox(lo, hi []float64) *Zonotope {
+	if len(lo) != len(hi) {
+		panic("zono: FromBox: bound length mismatch")
+	}
+	n := len(lo)
+	c := make(mat.Vec, n)
+	var gens []mat.Vec
+	for i := 0; i < n; i++ {
+		if lo[i] > hi[i] {
+			panic(fmt.Sprintf("zono: FromBox: lo[%d] > hi[%d]", i, i))
+		}
+		c[i] = (lo[i] + hi[i]) / 2
+		if r := (hi[i] - lo[i]) / 2; r > 0 {
+			g := make(mat.Vec, n)
+			g[i] = r
+			gens = append(gens, g)
+		}
+	}
+	return New(c, gens)
+}
+
+// Dim returns the ambient dimension.
+func (z *Zonotope) Dim() int { return len(z.Center) }
+
+// Order returns the number of generators.
+func (z *Zonotope) Order() int { return len(z.Generators) }
+
+// Clone returns a deep copy.
+func (z *Zonotope) Clone() *Zonotope {
+	gens := make([]mat.Vec, len(z.Generators))
+	for i, g := range z.Generators {
+		gens[i] = g.Clone()
+	}
+	return New(z.Center.Clone(), gens)
+}
+
+// Map returns the exact affine image M·Z + t.
+func (z *Zonotope) Map(m *mat.Mat, t mat.Vec) *Zonotope {
+	if m.C != z.Dim() {
+		panic(fmt.Sprintf("zono: Map: matrix has %d columns for dim %d", m.C, z.Dim()))
+	}
+	c := m.MulVec(z.Center)
+	if t != nil {
+		c = c.Add(t)
+	}
+	gens := make([]mat.Vec, len(z.Generators))
+	for i, g := range z.Generators {
+		gens[i] = m.MulVec(g)
+	}
+	return New(c, gens)
+}
+
+// Sum returns the exact Minkowski sum Z ⊕ Y (generator concatenation).
+func Sum(z, y *Zonotope) *Zonotope {
+	if z.Dim() != y.Dim() {
+		panic("zono: Sum: dimension mismatch")
+	}
+	gens := make([]mat.Vec, 0, len(z.Generators)+len(y.Generators))
+	for _, g := range z.Generators {
+		gens = append(gens, g.Clone())
+	}
+	for _, g := range y.Generators {
+		gens = append(gens, g.Clone())
+	}
+	return New(z.Center.Add(y.Center), gens)
+}
+
+// Support returns the support function h_Z(d) = max{d·x | x ∈ Z}, which is
+// closed-form for zonotopes: d·c + Σ |d·gᵢ|.
+func (z *Zonotope) Support(d mat.Vec) float64 {
+	h := d.Dot(z.Center)
+	for _, g := range z.Generators {
+		h += math.Abs(d.Dot(g))
+	}
+	return h
+}
+
+// IntervalHull returns the tightest axis-aligned bounding box.
+func (z *Zonotope) IntervalHull() (lo, hi []float64) {
+	n := z.Dim()
+	lo = make([]float64, n)
+	hi = make([]float64, n)
+	for j := 0; j < n; j++ {
+		r := 0.0
+		for _, g := range z.Generators {
+			r += math.Abs(g[j])
+		}
+		lo[j] = z.Center[j] - r
+		hi[j] = z.Center[j] + r
+	}
+	return lo, hi
+}
+
+// InsidePolytope reports whether Z ⊆ P, exactly, via the support function
+// of Z along every row normal of P.
+func (z *Zonotope) InsidePolytope(p *poly.Polytope, tol float64) bool {
+	if p.Dim() != z.Dim() {
+		panic("zono: InsidePolytope: dimension mismatch")
+	}
+	for i := 0; i < p.A.R; i++ {
+		if z.Support(p.A.Row(i)) > p.B[i]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Reduce returns a zonotope with at most order generators that contains z,
+// using Girard's reduction: the smallest generators are over-approximated
+// by their interval hull. order must be at least the dimension.
+func (z *Zonotope) Reduce(order int) *Zonotope {
+	n := z.Dim()
+	if order < n {
+		panic("zono: Reduce: order below dimension")
+	}
+	if len(z.Generators) <= order {
+		return z.Clone()
+	}
+	// Sort generators by ‖g‖₁ − ‖g‖∞ ascending: the "boxiest" smallest ones
+	// get absorbed into an interval hull.
+	idx := make([]int, len(z.Generators))
+	for i := range idx {
+		idx[i] = i
+	}
+	score := func(g mat.Vec) float64 { return g.Norm1() - g.NormInf() }
+	sort.Slice(idx, func(a, b int) bool {
+		return score(z.Generators[idx[a]]) < score(z.Generators[idx[b]])
+	})
+	nAbsorb := len(z.Generators) - order + n
+	absorbed := make(mat.Vec, n)
+	var kept []mat.Vec
+	for rank, i := range idx {
+		g := z.Generators[i]
+		if rank < nAbsorb {
+			for j := 0; j < n; j++ {
+				absorbed[j] += math.Abs(g[j])
+			}
+		} else {
+			kept = append(kept, g.Clone())
+		}
+	}
+	for j := 0; j < n; j++ {
+		if absorbed[j] > 0 {
+			g := make(mat.Vec, n)
+			g[j] = absorbed[j]
+			kept = append(kept, g)
+		}
+	}
+	return New(z.Center.Clone(), kept)
+}
+
+// Vertices2D enumerates the vertices of a 2-D zonotope in counterclockwise
+// order (generators sorted by angle; linear-time construction).
+func (z *Zonotope) Vertices2D() ([]mat.Vec, error) {
+	if z.Dim() != 2 {
+		return nil, errors.New("zono: Vertices2D: zonotope is not 2-D")
+	}
+	// Normalize generator directions into the upper half-plane and sort by
+	// angle; walking +g then −g in order traces the boundary.
+	gens := make([]mat.Vec, 0, len(z.Generators))
+	for _, g := range z.Generators {
+		if g[0] == 0 && g[1] == 0 {
+			continue
+		}
+		if g[1] < 0 || (g[1] == 0 && g[0] < 0) {
+			g = g.Scale(-1)
+		}
+		gens = append(gens, g)
+	}
+	if len(gens) == 0 {
+		return []mat.Vec{z.Center.Clone()}, nil
+	}
+	sort.Slice(gens, func(a, b int) bool {
+		return math.Atan2(gens[a][1], gens[a][0]) < math.Atan2(gens[b][1], gens[b][0])
+	})
+	// Start from the lowest vertex: c − Σ gᵢ.
+	cur := z.Center.Clone()
+	for _, g := range gens {
+		cur = cur.Sub(g)
+	}
+	verts := make([]mat.Vec, 0, 2*len(gens))
+	verts = append(verts, cur.Clone())
+	for _, g := range gens {
+		cur = cur.Add(g.Scale(2))
+		verts = append(verts, cur.Clone())
+	}
+	for _, g := range gens {
+		cur = cur.Sub(g.Scale(2))
+		verts = append(verts, cur.Clone())
+	}
+	// The walk closes on the start vertex; drop the duplicate.
+	return verts[:len(verts)-1], nil
+}
+
+// ToPolytope converts a 2-D zonotope to its exact H-representation.
+func (z *Zonotope) ToPolytope() (*poly.Polytope, error) {
+	verts, err := z.Vertices2D()
+	if err != nil {
+		return nil, err
+	}
+	return poly.FromVertices2D(verts)
+}
+
+// ForwardReach propagates the zonotope x0 through k steps of the affine
+// dynamics x⁺ = A·x + c + W (W may be nil), returning Reach_0 … Reach_k
+// with exact per-step images and sums. maxOrder bounds the generator count
+// via Reduce (0 means no reduction).
+func ForwardReach(x0 *Zonotope, a *mat.Mat, c mat.Vec, w *Zonotope, k, maxOrder int) []*Zonotope {
+	out := []*Zonotope{x0.Clone()}
+	cur := x0
+	for t := 0; t < k; t++ {
+		next := cur.Map(a, c)
+		if w != nil {
+			next = Sum(next, w)
+		}
+		if maxOrder > 0 && next.Order() > maxOrder {
+			next = next.Reduce(maxOrder)
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out
+}

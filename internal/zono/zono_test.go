@@ -1,0 +1,228 @@
+package zono
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oic/internal/mat"
+	"oic/internal/poly"
+)
+
+func TestFromBoxAndHull(t *testing.T) {
+	z := FromBox([]float64{-1, 2}, []float64{3, 2})
+	lo, hi := z.IntervalHull()
+	if lo[0] != -1 || hi[0] != 3 || lo[1] != 2 || hi[1] != 2 {
+		t.Errorf("hull = [%v %v] x [%v %v]", lo[0], hi[0], lo[1], hi[1])
+	}
+	if z.Order() != 1 { // degenerate dimension contributes no generator
+		t.Errorf("order = %d", z.Order())
+	}
+}
+
+func TestSupportClosedForm(t *testing.T) {
+	z := New(mat.Vec{1, 1}, []mat.Vec{{1, 0}, {0, 2}, {1, 1}})
+	// h((1,0)) = 1 + 1 + 0 + 1 = 3; h((0,1)) = 1 + 0 + 2 + 1 = 4.
+	if got := z.Support(mat.Vec{1, 0}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("h(e1) = %v", got)
+	}
+	if got := z.Support(mat.Vec{0, 1}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("h(e2) = %v", got)
+	}
+}
+
+func TestMapExactness(t *testing.T) {
+	z := FromBox([]float64{-1, -1}, []float64{1, 1})
+	m := mat.FromRows([][]float64{{2, 0}, {0, 3}})
+	img := z.Map(m, mat.Vec{5, -5})
+	lo, hi := img.IntervalHull()
+	if lo[0] != 3 || hi[0] != 7 || lo[1] != -8 || hi[1] != -2 {
+		t.Errorf("mapped hull = [%v %v] x [%v %v]", lo[0], hi[0], lo[1], hi[1])
+	}
+}
+
+func TestSumConcatenatesGenerators(t *testing.T) {
+	a := FromBox([]float64{-1, -1}, []float64{1, 1})
+	b := FromBox([]float64{-2, 0}, []float64{2, 0})
+	s := Sum(a, b)
+	if s.Order() != a.Order()+b.Order() {
+		t.Errorf("order = %d", s.Order())
+	}
+	lo, hi := s.IntervalHull()
+	if lo[0] != -3 || hi[0] != 3 || lo[1] != -1 || hi[1] != 1 {
+		t.Errorf("sum hull = [%v %v] x [%v %v]", lo[0], hi[0], lo[1], hi[1])
+	}
+}
+
+// Support must be additive under Minkowski sum and compatible with affine
+// maps: h_{M·Z}(d) = h_Z(Mᵀd).
+func TestSupportPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		z := randomZono(rng)
+		y := randomZono(rng)
+		d := mat.Vec{rng.NormFloat64(), rng.NormFloat64()}
+		lhs := Sum(z, y).Support(d)
+		rhs := z.Support(d) + y.Support(d)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			return false
+		}
+		m := mat.FromRows([][]float64{
+			{rng.NormFloat64(), rng.NormFloat64()},
+			{rng.NormFloat64(), rng.NormFloat64()},
+		})
+		lhs2 := z.Map(m, nil).Support(d)
+		rhs2 := z.Support(m.T().MulVec(d))
+		return math.Abs(lhs2-rhs2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomZono(rng *rand.Rand) *Zonotope {
+	k := 1 + rng.Intn(5)
+	gens := make([]mat.Vec, k)
+	for i := range gens {
+		gens[i] = mat.Vec{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return New(mat.Vec{rng.NormFloat64(), rng.NormFloat64()}, gens)
+}
+
+func TestInsidePolytope(t *testing.T) {
+	z := FromBox([]float64{-1, -1}, []float64{1, 1})
+	if !z.InsidePolytope(poly.Box([]float64{-2, -2}, []float64{2, 2}), 1e-9) {
+		t.Error("box zonotope not inside larger box")
+	}
+	if z.InsidePolytope(poly.Box([]float64{-0.5, -2}, []float64{2, 2}), 1e-9) {
+		t.Error("zonotope should poke out of the shifted box")
+	}
+}
+
+func TestVertices2DSquare(t *testing.T) {
+	z := FromBox([]float64{0, 0}, []float64{2, 2})
+	vs, err := z.Vertices2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 4 {
+		t.Fatalf("vertices = %d: %v", len(vs), vs)
+	}
+	for _, want := range []mat.Vec{{0, 0}, {2, 0}, {2, 2}, {0, 2}} {
+		found := false
+		for _, v := range vs {
+			if v.Equal(want, 1e-9) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("vertex %v missing", want)
+		}
+	}
+}
+
+// ToPolytope must agree with the zonotope's own support function.
+func TestToPolytopeSupportAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		z := randomZono(rng)
+		p, err := z.ToPolytope()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 8; k++ {
+			theta := rng.Float64() * 2 * math.Pi
+			d := mat.Vec{math.Cos(theta), math.Sin(theta)}
+			hp, _, err := p.Support(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(hp-z.Support(d)) > 1e-6 {
+				t.Fatalf("trial %d: polytope support %v vs zonotope %v", trial, hp, z.Support(d))
+			}
+		}
+	}
+}
+
+func TestReduceContainsOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		z := randomZono(rng)
+		for z.Order() < 8 { // ensure something to reduce
+			z = Sum(z, randomZono(rng))
+		}
+		r := z.Reduce(4)
+		if r.Order() > 4 {
+			t.Fatalf("order after reduce = %d", r.Order())
+		}
+		// Over-approximation: h_r(d) ≥ h_z(d) in sampled directions.
+		for k := 0; k < 12; k++ {
+			theta := rng.Float64() * 2 * math.Pi
+			d := mat.Vec{math.Cos(theta), math.Sin(theta)}
+			if r.Support(d) < z.Support(d)-1e-9 {
+				t.Fatalf("trial %d: reduction lost coverage along %v", trial, d)
+			}
+		}
+	}
+}
+
+func TestForwardReachMatchesPolytopeReach(t *testing.T) {
+	// Cross-check the zonotope tube against the exact H-rep tube from
+	// package reach's building blocks on a stable affine system.
+	a := mat.FromRows([][]float64{{0.9, 0.1}, {-0.05, 0.85}})
+	c := mat.Vec{0.01, -0.02}
+	x0z := FromBox([]float64{-1, -1}, []float64{1, 1})
+	wz := FromBox([]float64{-0.05, -0.02}, []float64{0.05, 0.02})
+	tube := ForwardReach(x0z, a, c, wz, 6, 0)
+	if len(tube) != 7 {
+		t.Fatalf("tube length = %d", len(tube))
+	}
+
+	x0p := poly.Box([]float64{-1, -1}, []float64{1, 1})
+	wp := poly.Box([]float64{-0.05, -0.02}, []float64{0.05, 0.02})
+	cur := x0p
+	for t2 := 1; t2 <= 6; t2++ {
+		img, err := cur.ImageAffine(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := poly.MinkowskiSum(img, wp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = sum
+		// Supports must agree (both are exact).
+		for k := 0; k < 6; k++ {
+			theta := 2 * math.Pi * float64(k) / 6
+			d := mat.Vec{math.Cos(theta), math.Sin(theta)}
+			hp, _, err := cur.Support(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(hp-tube[t2].Support(d)) > 1e-6 {
+				t.Fatalf("step %d: poly %v vs zono %v along %v", t2, hp, tube[t2].Support(d), d)
+			}
+		}
+	}
+}
+
+func TestForwardReachWithReduction(t *testing.T) {
+	a := mat.FromRows([][]float64{{0.95, 0.05}, {0, 0.9}})
+	x0 := FromBox([]float64{-1, -1}, []float64{1, 1})
+	w := FromBox([]float64{-0.1, -0.1}, []float64{0.1, 0.1})
+	exact := ForwardReach(x0, a, nil, w, 20, 0)
+	reduced := ForwardReach(x0, a, nil, w, 20, 6)
+	last := len(exact) - 1
+	if reduced[last].Order() > 6 {
+		t.Fatalf("order = %d", reduced[last].Order())
+	}
+	// Reduction must over-approximate the exact tube.
+	for k := 0; k < 8; k++ {
+		theta := 2 * math.Pi * float64(k) / 8
+		d := mat.Vec{math.Cos(theta), math.Sin(theta)}
+		if reduced[last].Support(d) < exact[last].Support(d)-1e-9 {
+			t.Fatal("reduced tube lost coverage")
+		}
+	}
+}
