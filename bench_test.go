@@ -1,8 +1,8 @@
 // Package main_test hosts the benchmark harness that regenerates every
 // table and figure of the paper's evaluation (see DESIGN.md §4 for the
 // experiment index), plus micro-benchmarks of the per-step costs the
-// Section IV-A timing analysis relies on and the ablation benches of
-// DESIGN.md §5.
+// Section IV-A timing analysis relies on, the ablation benches of
+// DESIGN.md §5, and cross-plant benches over the scenario-engine registry.
 //
 // The table/figure benches run a reduced-but-faithful version of each
 // experiment per iteration (training included where the experiment trains)
@@ -20,7 +20,11 @@ import (
 	"oic/internal/core"
 	"oic/internal/exp"
 	"oic/internal/mat"
+	"oic/internal/plant"
 	"oic/internal/reach"
+
+	_ "oic/internal/orbit"
+	_ "oic/internal/thermo"
 )
 
 // benchOpt is the reduced experiment size used per benchmark iteration.
@@ -33,11 +37,21 @@ func benchOpt() exp.Options {
 	return exp.Options{Cases: 24, Steps: 100, Seed: 1, TrainEpisodes: 40}
 }
 
+func mustPlant(b *testing.B, name string) plant.Plant {
+	b.Helper()
+	p, err := plant.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
 // BenchmarkFig4 regenerates Figure 4 (fuel-saving distribution of
 // bang-bang and DRL skipping vs RMPC-only on the Eq. 8 sinusoid).
 func BenchmarkFig4(b *testing.B) {
+	p := mustPlant(b, "acc")
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig4(benchOpt())
+		r, err := exp.Fig4(p, benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,11 +68,12 @@ func BenchmarkFig4(b *testing.B) {
 // shrinking v_f ranges Ex.1–Ex.5). One scenario per iteration would skew
 // metrics, so each iteration runs the full 5-scenario sweep.
 func BenchmarkTable1Fig5(b *testing.B) {
+	p := mustPlant(b, "acc")
 	opt := benchOpt()
 	opt.Cases = 10
 	opt.TrainEpisodes = 25
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig5(opt)
+		r, err := exp.SweepLadder(p, "range", opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,11 +87,12 @@ func BenchmarkTable1Fig5(b *testing.B) {
 // BenchmarkFig6 regenerates Figure 6 (savings across the regularity ladder
 // Ex.6–Ex.10).
 func BenchmarkFig6(b *testing.B) {
+	p := mustPlant(b, "acc")
 	opt := benchOpt()
 	opt.Cases = 10
 	opt.TrainEpisodes = 25
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig6(opt)
+		r, err := exp.SweepLadder(p, "regularity", opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,14 +105,74 @@ func BenchmarkFig6(b *testing.B) {
 // study (RMPC per-step cost vs monitor+policy overhead, skip rate, and the
 // derived computation saving).
 func BenchmarkTimingAnalysis(b *testing.B) {
+	p := mustPlant(b, "acc")
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Timing(benchOpt())
+		r, err := exp.Timing(p, benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(r.ComputeSaving, "compute-saving-%")
-		b.ReportMetric(float64(r.RMPCPerStep.Microseconds()), "rmpc-µs/step")
+		b.ReportMetric(float64(r.CtrlPerStep.Microseconds()), "rmpc-µs/step")
 		b.ReportMetric(float64(r.MonitorPerStep.Microseconds()), "monitor-µs/step")
+	}
+}
+
+// --- Cross-plant benches: the scenario engine over every registered plant. ---
+
+// BenchmarkPlantConstruction measures the cost of acquiring each
+// registered plant's headline instance. acc builds its model per scenario
+// (the safety sets depend on the v_f range); thermo and orbit share one
+// scenario-independent model per process, so after the first iteration
+// this reports their amortized (cache-hit) cost.
+func BenchmarkPlantConstruction(b *testing.B) {
+	for _, name := range plant.Names() {
+		p := mustPlant(b, name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Instantiate(p.Headline()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlantEpisode measures one paired (always-run + bang-bang)
+// evaluation episode per registered plant — the unit of work the
+// experiment harness parallelizes — and reports the bang-bang skip rate.
+func BenchmarkPlantEpisode(b *testing.B) {
+	for _, name := range plant.Names() {
+		p := mustPlant(b, name)
+		b.Run(name, func(b *testing.B) {
+			inst, err := p.Instantiate(p.Headline())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(17))
+			x0s, err := inst.SampleInitialStates(16, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps := p.EpisodeSteps()
+			var skipRate float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x0 := x0s[i%len(x0s)]
+				w := inst.Disturbances(rng, steps)
+				if _, err := inst.RunEpisode(core.AlwaysRun{}, x0, w); err != nil {
+					b.Fatal(err)
+				}
+				ep, err := inst.RunEpisode(core.BangBang{}, x0, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ep.Result.ViolationsX != 0 {
+					b.Fatalf("violations: %d", ep.Result.ViolationsX)
+				}
+				skipRate = ep.Result.SkipRate()
+			}
+			b.ReportMetric(100*skipRate, "bb-skip-%")
+		})
 	}
 }
 

@@ -1,73 +1,93 @@
-// Command oic regenerates the paper's evaluation artifacts on the adaptive
-// cruise control case study:
+// Command oic regenerates the paper's evaluation artifacts on any
+// registered plant (-plant, default the adaptive cruise control case
+// study):
 //
-//	oic fig4    — Fig. 4 fuel-saving histogram (bang-bang and DRL vs RMPC-only)
-//	oic fig5    — Fig. 5 savings across the v_f ranges of Ex.1–Ex.5
-//	oic fig6    — Fig. 6 savings across the regularity ladder Ex.6–Ex.10
-//	oic table1  — Table I settings with measured savings
+//	oic plants  — list the registered plants and their scenario ladders
+//	oic fig4    — savings histogram on the headline scenario (paper Fig. 4)
+//	oic fig5    — savings across the plant's primary scenario ladder (Fig. 5)
+//	oic fig6    — savings across the secondary ladder, if any (Fig. 6)
+//	oic table1  — primary-ladder settings with measured savings (Table I)
 //	oic timing  — Section IV-A computation-time analysis
-//	oic sets    — the safety sets X ⊇ XI ⊇ X′ of the case study (Fig. 1)
+//	oic sets    — the safety sets X ⊇ XI ⊇ X′ (Fig. 1)
 //	oic budget  — the multi-step strengthened sets S_k (weakly-hard extension)
 //	oic all     — everything above
 //
 // Every experiment is seeded and deterministic for a fixed -seed and
 // -workers-independent. Use -csv to additionally emit raw per-case data.
+// Flags may appear before or after the subcommand.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"oic/internal/acc"
 	"oic/internal/exp"
+	"oic/internal/plant"
 	"oic/internal/reach"
+
+	// Register the case studies.
+	_ "oic/internal/acc"
+	_ "oic/internal/orbit"
+	_ "oic/internal/thermo"
 )
 
 func main() {
 	fs := flag.NewFlagSet("oic", flag.ExitOnError)
 	cases := fs.Int("cases", 500, "evaluation cases per scenario")
-	steps := fs.Int("steps", 100, "control steps per episode")
+	steps := fs.Int("steps", 0, "control steps per episode (0 = plant default)")
 	seed := fs.Int64("seed", 1, "random seed")
 	train := fs.Int("train", 500, "DRL training episodes per scenario")
-	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS; capped process-wide at GOMAXPROCS)")
 	csv := fs.String("csv", "", "directory to write raw CSV data into")
+	plantName := fs.String("plant", "acc", "plant to evaluate (see 'oic plants')")
 
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: oic [flags] fig4|fig5|fig6|table1|timing|sets|budget|all\n\n")
+		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|all [flags]\n\n")
 		fs.PrintDefaults()
 	}
-	if len(os.Args) < 2 {
-		fs.Usage()
-		os.Exit(2)
-	}
-	// Accept flags before or after the subcommand.
-	args := os.Args[1:]
-	var cmd string
-	for i, a := range args {
-		if len(a) > 0 && a[0] != '-' {
-			cmd = a
-			args = append(args[:i], args[i+1:]...)
-			break
-		}
-	}
-	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
-	}
+	// Parse flags first, then take the first positional argument as the
+	// subcommand; re-parse whatever follows it so flags are accepted both
+	// before and after the subcommand. (Scanning for the first non-flag
+	// token would mistake flag *values* for the subcommand: in
+	// `oic -csv out fig4`, "out" is -csv's value, not the subcommand.)
+	// With ExitOnError, Parse exits on a bad flag itself.
+	fs.Parse(os.Args[1:])
+	cmd := fs.Arg(0)
 	if cmd == "" {
 		fs.Usage()
+		os.Exit(2)
+	}
+	if fs.NArg() > 1 {
+		fs.Parse(fs.Args()[1:])
+		if fs.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "oic: unexpected extra argument %q\n", fs.Arg(0))
+			os.Exit(2)
+		}
+	}
+
+	if cmd == "plants" {
+		listPlants()
+		return
+	}
+
+	p, err := plant.Get(*plantName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oic: %v\n", err)
 		os.Exit(2)
 	}
 
 	opt := exp.Options{
 		Cases: *cases, Steps: *steps, Seed: *seed,
 		TrainEpisodes: *train, Workers: *workers,
+		KeepPerCase: *csv != "",
 	}
 
 	run := func(name string, f func() error) {
 		t0 := time.Now()
-		fmt.Printf("== %s ==\n", name)
+		fmt.Printf("== %s [%s] ==\n", name, p.Name())
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "oic: %s: %v\n", name, err)
 			os.Exit(1)
@@ -86,39 +106,40 @@ func main() {
 	}
 
 	doFig4 := func() error {
-		r, err := exp.Fig4(opt)
+		r, err := exp.Fig4(p, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Print(exp.RenderFig4(r))
 		return writeCSV("fig4.csv", exp.CSVFig4(r))
 	}
-	doFig5 := func(withTable bool) func() error {
+	ladder := func(i int) (plant.Ladder, error) {
+		ls := p.Ladders()
+		if i >= len(ls) {
+			return plant.Ladder{}, fmt.Errorf("plant %s has %d scenario ladder(s), no #%d", p.Name(), len(ls), i+1)
+		}
+		return ls[i], nil
+	}
+	doSweep := func(i int, csvName string, withTable bool) func() error {
 		return func() error {
-			r, err := exp.Fig5(opt)
+			l, err := ladder(i)
 			if err != nil {
 				return err
 			}
-			fmt.Print(exp.RenderSeries("Figure 5 — DRL fuel saving vs v_f range (Ex.1–Ex.5)", r,
-				"paper shape: savings increase as the range narrows (≈7%→13%)"))
+			r, err := exp.Sweep(p, l, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.RenderSeries(r))
 			if withTable {
 				fmt.Println()
 				fmt.Print(exp.RenderTable1(exp.Table1FromSeries(r)))
 			}
-			return writeCSV("fig5.csv", exp.CSVSeries(r))
+			return writeCSV(csvName, exp.CSVSeries(r))
 		}
-	}
-	doFig6 := func() error {
-		r, err := exp.Fig6(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(exp.RenderSeries("Figure 6 — DRL fuel saving vs regularity (Ex.6–Ex.10)", r,
-			"paper shape: savings rise with regularity Ex.7→Ex.10; Ex.6 (pure random) is an outlier"))
-		return writeCSV("fig6.csv", exp.CSVSeries(r))
 	}
 	doTable1 := func() error {
-		rows, err := exp.Table1(opt)
+		rows, err := exp.Table1(p, opt)
 		if err != nil {
 			return err
 		}
@@ -126,7 +147,7 @@ func main() {
 		return nil
 	}
 	doTiming := func() error {
-		r, err := exp.Timing(opt)
+		r, err := exp.Timing(p, opt)
 		if err != nil {
 			return err
 		}
@@ -134,49 +155,53 @@ func main() {
 		return nil
 	}
 	doSets := func() error {
-		m, err := acc.NewModel(acc.Config{})
+		inst, err := p.Instantiate(p.Headline())
 		if err != nil {
 			return err
 		}
+		sets := inst.Sets()
 		printSet := func(name string, rows int, loHi func() ([]float64, []float64, error)) {
 			lo, hi, err := loHi()
 			if err != nil {
 				fmt.Printf("%-3s: error: %v\n", name, err)
 				return
 			}
-			fmt.Printf("%-3s: %2d halfspaces, bounding box s∈[%.2f, %.2f], v∈[%.2f, %.2f]\n",
-				name, rows, lo[0], hi[0], lo[1], hi[1])
+			var dims []string
+			for d := range lo {
+				dims = append(dims, fmt.Sprintf("x%d∈[%.2f, %.2f]", d, lo[d], hi[d]))
+			}
+			fmt.Printf("%-3s: %2d halfspaces, bounding box %s\n", name, rows, strings.Join(dims, ", "))
 		}
-		fmt.Println("safety sets of the ACC case study (Fig. 1: X' ⊆ XI ⊆ X):")
-		printSet("X", m.Sets.X.NumRows(), m.Sets.X.BoundingBox)
-		printSet("XI", m.Sets.XI.NumRows(), m.Sets.XI.BoundingBox)
-		printSet("X'", m.Sets.XPrime.NumRows(), m.Sets.XPrime.BoundingBox)
-		ok1, _ := m.Sets.XI.Covers(m.Sets.XPrime, 1e-6)
-		ok2, _ := m.Sets.X.Covers(m.Sets.XI, 1e-6)
+		fmt.Printf("safety sets of plant %q (Fig. 1: X' ⊆ XI ⊆ X):\n", p.Name())
+		printSet("X", sets.X.NumRows(), sets.X.BoundingBox)
+		printSet("XI", sets.XI.NumRows(), sets.XI.BoundingBox)
+		printSet("X'", sets.XPrime.NumRows(), sets.XPrime.BoundingBox)
+		ok1, _ := sets.XI.Covers(sets.XPrime, 1e-6)
+		ok2, _ := sets.X.Covers(sets.XI, 1e-6)
 		fmt.Printf("nesting verified: X' ⊆ XI: %v, XI ⊆ X: %v\n", ok1, ok2)
-		if a, err := m.Sets.XPrime.Volume2D(); err == nil {
-			b, _ := m.Sets.XI.Volume2D()
-			fmt.Printf("area: X' %.1f, XI %.1f (skipping admissible on %.1f%% of XI)\n", a, b, 100*a/b)
+		if a, err := sets.XPrime.Volume2D(); err == nil {
+			if b, err := sets.XI.Volume2D(); err == nil && b > 0 {
+				fmt.Printf("area: X' %.1f, XI %.1f (skipping admissible on %.1f%% of XI)\n", a, b, 100*a/b)
+			}
 		}
 		return nil
 	}
-
 	doBudget := func() error {
-		m, err := acc.NewModel(acc.Config{})
+		inst, err := p.Instantiate(p.Headline())
 		if err != nil {
 			return err
 		}
-		chain, err := reach.ConsecutiveSkipSets(m.Sets.XI, m.Sys, 8)
+		chain, err := reach.ConsecutiveSkipSets(inst.Sets().XI, inst.System(), 8)
 		if err != nil {
 			return err
 		}
-		fmt.Println("multi-step strengthened sets S_k (k consecutive skips certified):")
+		fmt.Printf("multi-step strengthened sets S_k of plant %q (k consecutive skips certified):\n", p.Name())
 		for k, s := range chain {
-			area, err := s.Volume2D()
-			if err != nil {
-				return err
+			line := fmt.Sprintf("  S%-2d %2d halfspaces", k+1, s.NumRows())
+			if area, err := s.Volume2D(); err == nil {
+				line += fmt.Sprintf(", area %8.1f", area)
 			}
-			fmt.Printf("  S%-2d %2d halfspaces, area %8.1f\n", k+1, s.NumRows(), area)
+			fmt.Println(line)
 		}
 		return nil
 	}
@@ -185,9 +210,9 @@ func main() {
 	case "fig4":
 		run("fig4", doFig4)
 	case "fig5":
-		run("fig5", doFig5(false))
+		run("fig5", doSweep(0, "fig5.csv", false))
 	case "fig6":
-		run("fig6", doFig6)
+		run("fig6", doSweep(1, "fig6.csv", false))
 	case "table1":
 		run("table1", doTable1)
 	case "timing":
@@ -201,11 +226,33 @@ func main() {
 		run("budget", doBudget)
 		run("fig4", doFig4)
 		run("timing", doTiming)
-		run("fig5+table1", doFig5(true))
-		run("fig6", doFig6)
+		run("fig5+table1", doSweep(0, "fig5.csv", true))
+		if len(p.Ladders()) > 1 {
+			run("fig6", doSweep(1, "fig6.csv", false))
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "oic: unknown command %q\n", cmd)
 		fs.Usage()
 		os.Exit(2)
+	}
+}
+
+func listPlants() {
+	fmt.Println("registered plants:")
+	for _, name := range plant.Names() {
+		p, err := plant.Get(name)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-8s %s\n", name, p.Description())
+		fmt.Printf("  %-8s headline %s; cost metric %q; %d steps/episode\n",
+			"", p.Headline().ID, p.CostLabel(), p.EpisodeSteps())
+		for _, l := range p.Ladders() {
+			ids := make([]string, len(l.Scenarios))
+			for i, sc := range l.Scenarios {
+				ids[i] = sc.ID
+			}
+			fmt.Printf("  %-8s ladder %q: %s\n", "", l.Name, strings.Join(ids, ", "))
+		}
 	}
 }

@@ -2,10 +2,10 @@
 // control computations when the room is provably going to stay within the
 // comfort band.
 //
-// State: (temperature deviation from setpoint, heater core temperature
-// deviation). Input: heater power delta. Disturbance: outdoor temperature
-// fluctuation and occupancy heat load. Skipping saves both the controller
-// computation and actuator switching.
+// The plant itself now lives in internal/thermo as a first-class case
+// study of the scenario engine (run `go run ./cmd/oic -plant thermo all`
+// for the full evaluation); this example drives one cold-snap afternoon
+// directly to show the plant API.
 //
 //	go run ./examples/thermostat
 package main
@@ -13,84 +13,52 @@ package main
 import (
 	"fmt"
 	"log"
-	"math"
 	"math/rand"
 
-	"oic/internal/controller"
 	"oic/internal/core"
-	"oic/internal/lti"
-	"oic/internal/mat"
-	"oic/internal/poly"
-	"oic/internal/reach"
+	"oic/internal/plant"
+	"oic/internal/thermo"
 )
 
 func main() {
-	// Two-mass thermal model, Euler-discretized at 30 s:
-	// room temperature couples to the heater core; both leak to ambient.
-	a := mat.FromRows([][]float64{
-		{0.96, 0.05},
-		{0.00, 0.90},
-	})
-	b := mat.FromRows([][]float64{{0}, {0.12}})
-	sys := lti.NewSystem(a, b).WithConstraints(
-		poly.Box([]float64{-1.5, -6}, []float64{1.5, 6}),       // comfort band ±1.5°C, core ±6°C
-		poly.Box([]float64{-3}, []float64{3}),                  // power delta bounds
-		poly.Box([]float64{-0.08, -0.1}, []float64{0.08, 0.1}), // weather/occupancy noise
-	)
-
-	k, err := controller.LQR(sys.A, sys.B,
-		mat.Diag([]float64{4, 0.2}), mat.Identity(1), 0, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	kappa := controller.NewAffineFeedback(k, nil, nil)
-
-	acl, ccl := sys.ClosedLoop(k, mat.Vec{0, 0}, mat.Vec{0})
-	admissible := poly.New(sys.U.A.Mul(k), sys.U.B.Clone())
-	xi, err := reach.MaximalInvariantSet(
-		poly.Intersect(sys.X, admissible).ReduceRedundancy(), acl, ccl, sys.W, reach.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	sets, err := core.ComputeSafetySets(sys, xi)
+	var p thermo.Plant
+	inst, err := p.Instantiate(p.Headline())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Daily-cycle weather disturbance with noise: a persistent cold snap
-	// (negative bias) drives the room toward the comfort boundary so the
-	// monitor has to force heater interventions.
+	// One 4-hour afternoon under the cold-snap weather scenario, replayed
+	// against both policies for a paired comparison.
+	const steps = 480
 	rng := rand.New(rand.NewSource(11))
-	dist := func(t int) mat.Vec {
-		phase := 2 * math.Pi * float64(t) / 240 // one cycle per 2 hours of steps
-		return mat.Vec{
-			-0.04 + 0.04*math.Sin(phase)*(0.5+0.5*rng.Float64()),
-			0.1 * (2*rng.Float64() - 1),
-		}
+	x0s, err := inst.SampleInitialStates(1, rng)
+	if err != nil {
+		log.Fatal(err)
 	}
+	if len(x0s) == 0 {
+		log.Fatal("sampling X' returned no states")
+	}
+	w := inst.Disturbances(rng, steps)
 
-	x0 := mat.Vec{0.5, 0}
-	const steps = 480 // 4 hours
-	run := func(p core.SkipPolicy) *core.Result {
-		fw, err := core.NewFramework(sys, kappa, sets, p, 1)
+	run := func(pol core.SkipPolicy) *plant.Episode {
+		ep, err := inst.RunEpisode(pol, x0s[0], w)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := fw.Run(x0, steps, dist)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res
+		return ep
 	}
 
 	always := run(core.AlwaysRun{})
 	bang := run(core.BangBang{})
 
 	fmt.Println("thermostat with guaranteed comfort band (±1.5°C):")
-	fmt.Printf("  always-run: energy %8.2f, controller calls %d\n", always.Energy, always.ControllerCalls)
-	fmt.Printf("  bang-bang:  energy %8.2f, controller calls %d, skips %d/%d, violations %d\n",
-		bang.Energy, bang.ControllerCalls, bang.Skips, steps, bang.ViolationsX)
-	fmt.Printf("  savings: %.1f%% energy, %.1f%% controller invocations\n",
-		100*(always.Energy-bang.Energy)/always.Energy,
-		100*float64(always.ControllerCalls-bang.ControllerCalls)/float64(always.ControllerCalls))
+	fmt.Printf("  always-run: %.3f kWh, controller calls %d\n",
+		always.Cost, always.Result.ControllerCalls)
+	fmt.Printf("  bang-bang:  %.3f kWh, controller calls %d, skips %d/%d, violations %d\n",
+		bang.Cost, bang.Result.ControllerCalls, bang.Result.Skips, steps, bang.Result.ViolationsX)
+	if always.Cost > 0 && always.Result.ControllerCalls > 0 {
+		fmt.Printf("  savings: %.1f%% energy, %.1f%% controller invocations\n",
+			100*(always.Cost-bang.Cost)/always.Cost,
+			100*float64(always.Result.ControllerCalls-bang.Result.ControllerCalls)/float64(always.Result.ControllerCalls))
+	}
 }

@@ -1,0 +1,3 @@
+module oic
+
+go 1.24

@@ -7,17 +7,19 @@ import (
 
 	"oic/internal/core"
 	"oic/internal/mat"
+	"oic/internal/plant"
 	"oic/internal/rl"
 	"oic/internal/traffic"
 )
 
 // Paper hyper-parameters for the DRL skipping agent (Section IV): reward
 // weights w₁ = 0.01 (leaving X′) and w₂ = 0.0001 (energy), perturbation
-// memory r = 1.
+// memory r = 1. Single-sourced from the plant package so every case study
+// trains with the same paper defaults.
 const (
-	DefaultW1     = 0.01
-	DefaultW2     = 0.0001
-	DefaultMemory = 1
+	DefaultW1     = plant.DefaultW1
+	DefaultW2     = plant.DefaultW2
+	DefaultMemory = plant.DefaultMemory
 )
 
 // Encode builds the DRL agent state from the physical state and the recent
@@ -84,8 +86,11 @@ func (e *DRLEnv) StateDim() int { return 2 + e.memory }
 // Reset implements rl.Env.
 func (e *DRLEnv) Reset(rng *rand.Rand) (mat.Vec, error) {
 	x0s, err := e.m.SampleInitialStates(1, rng)
-	if err != nil || len(x0s) == 0 {
+	if err != nil {
 		return nil, fmt.Errorf("acc: DRLEnv.Reset: sampling X′: %w", err)
+	}
+	if len(x0s) == 0 {
+		return nil, errors.New("acc: DRLEnv.Reset: sampling X′: empty sample")
 	}
 	e.vf = e.profile.Generate(rng, e.steps)
 	sess, err := e.fw.NewSession(x0s[0])

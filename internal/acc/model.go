@@ -186,6 +186,18 @@ func (m *Model) RunEpisode(policy core.SkipPolicy, x0 mat.Vec, vf []float64, fm 
 // length r for the policy (needed when evaluating DRL agents trained with
 // r > 1).
 func (m *Model) RunEpisodeWithMemory(policy core.SkipPolicy, x0 mat.Vec, vf []float64, fm *traffic.FuelModel, memory int) (*Episode, error) {
+	w := make([]mat.Vec, len(vf))
+	for i, v := range vf {
+		w[i] = m.Disturbance(v)
+	}
+	return m.RunEpisodeW(policy, x0, w, vf, fm, memory)
+}
+
+// RunEpisodeW is the disturbance-vector core of RunEpisodeWithMemory: it
+// drives Algorithm 1 with an explicit w trace (as the plant-agnostic
+// harness does) and meters fuel over the resulting trajectory. vf may be
+// nil; it is only recorded on the episode for reference.
+func (m *Model) RunEpisodeW(policy core.SkipPolicy, x0 mat.Vec, w []mat.Vec, vf []float64, fm *traffic.FuelModel, memory int) (*Episode, error) {
 	fw, err := m.Framework(policy, memory)
 	if err != nil {
 		return nil, err
@@ -194,8 +206,8 @@ func (m *Model) RunEpisodeWithMemory(policy core.SkipPolicy, x0 mat.Vec, vf []fl
 	if err != nil {
 		return nil, err
 	}
-	for _, v := range vf {
-		if _, err := sess.Step(m.Disturbance(v)); err != nil {
+	for _, wt := range w {
+		if _, err := sess.Step(wt); err != nil {
 			return nil, fmt.Errorf("acc: RunEpisode (%s): %w", policy.Name(), err)
 		}
 	}

@@ -1,44 +1,51 @@
-// Package exp is the experiment harness: it regenerates every table and
-// figure of the paper's evaluation (Section IV) on top of the ACC case
-// study — Fig. 4 (fuel-saving histogram over 500 cases), the Section IV-A
-// computation-time analysis, Table I (the Ex.1–Ex.5 settings), Fig. 5
-// (saving vs. front-speed range), and Fig. 6 (saving vs. regularity).
+// Package exp is the plant-agnostic experiment harness: it regenerates
+// every table and figure of the paper's evaluation (Section IV) on any
+// registered plant — the savings-distribution experiment of Fig. 4, the
+// Section IV-A computation-time analysis, and Table-I-style scenario-
+// ladder sweeps (Fig. 5 / Fig. 6). The ACC case study reproduces the
+// paper's numbers; thermo, orbit, and any future plant.Plant get the same
+// pipeline for free.
 //
-// Episodes are evaluated in parallel across cases; each case replays the
-// same initial state and front-vehicle trace against every approach so
-// comparisons are paired.
+// Episodes are evaluated in parallel on a shared bounded worker pool; each
+// case replays the same initial state and disturbance trace against every
+// approach, so comparisons are paired. Per-case aggregation is streaming:
+// memory stays O(workers), not O(cases), and results are independent of
+// the worker count (cases are seeded individually and folded in index
+// order).
 package exp
 
 import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
 	"time"
 
-	"oic/internal/acc"
 	"oic/internal/core"
+	"oic/internal/plant"
 	"oic/internal/rl"
 	"oic/internal/stats"
-	"oic/internal/traffic"
 )
 
 // Options tunes experiment size. The zero value reproduces the paper's
-// scale (500 cases of 100 steps) with a fixed seed.
+// scale (500 cases, the plant's default episode length) with a fixed seed.
 type Options struct {
 	Cases         int   // evaluation cases per scenario (default 500)
-	Steps         int   // steps per episode (default 100)
+	Steps         int   // steps per episode (default: plant's EpisodeSteps)
 	Seed          int64 // RNG seed (default 1)
 	TrainEpisodes int   // DRL training episodes per scenario (default 500)
-	Workers       int   // parallel evaluation workers (default GOMAXPROCS)
+	Workers       int   // parallel evaluation workers (default GOMAXPROCS; the shared pool caps effective process-wide concurrency at GOMAXPROCS)
+
+	// KeepPerCase retains the per-case savings slices on Fig4Result for
+	// CSV export; off by default so memory stays O(1) in Cases.
+	KeepPerCase bool
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults(p plant.Plant) Options {
 	if o.Cases == 0 {
 		o.Cases = 500
 	}
 	if o.Steps == 0 {
-		o.Steps = acc.EpisodeSteps
+		o.Steps = p.EpisodeSteps()
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -53,287 +60,316 @@ func (o Options) withDefaults() Options {
 }
 
 // Case is one paired evaluation of the three approaches on an identical
-// (x0, v_f trace) episode.
+// (x0, disturbance trace) episode.
 type Case struct {
-	FuelRM, FuelBB, FuelDRL       float64
-	EnergyRM, EnergyBB, EnergyDRL float64
+	CostRM, CostBB, CostDRL       float64 // plant cost metric (fuel, kWh, Δv)
+	EnergyRM, EnergyBB, EnergyDRL float64 // Σ‖u‖₁
 	SkipsBB, SkipsDRL             int
 	ForcedDRL                     int
-	Violations                    int // across all three runs (must be 0)
+	Violations                    int // across all runs (Theorem 1: must be 0)
 
-	CtrlTimeRM   time.Duration // κ compute time in the RMPC-only run
+	CtrlTimeRM   time.Duration // κ compute time in the always-run baseline
 	CtrlTimeDRL  time.Duration
 	OverheadDRL  time.Duration
 	CtrlCallsRM  int
 	CtrlCallsDRL int
 }
 
-// FuelSavingBB returns the bang-bang fuel saving vs. RMPC-only in percent.
-func (c *Case) FuelSavingBB() float64 { return 100 * (c.FuelRM - c.FuelBB) / c.FuelRM }
-
-// FuelSavingDRL returns the DRL fuel saving vs. RMPC-only in percent.
-func (c *Case) FuelSavingDRL() float64 { return 100 * (c.FuelRM - c.FuelDRL) / c.FuelRM }
-
-// runCases evaluates opt.Cases paired episodes in parallel. The drl policy
-// may be nil to skip the DRL run (Case fields stay zero).
-func runCases(m *acc.Model, profile traffic.Profile, drl core.SkipPolicy, opt Options) ([]Case, error) {
-	if opt.Workers <= 0 {
-		opt.Workers = runtime.GOMAXPROCS(0)
+// saving returns the relative saving of other vs. base in percent,
+// guarding against a degenerate zero-cost baseline episode (which would
+// otherwise poison histograms and means with NaN/Inf).
+func saving(base, other float64) float64 {
+	if base == 0 {
+		return 0
 	}
-	type job struct {
-		x0 []float64
-		vf []float64
-	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	x0s, err := m.SampleInitialStates(opt.Cases, rng)
-	if err != nil {
-		return nil, fmt.Errorf("exp: sampling initial states: %w", err)
-	}
-	jobs := make([]job, opt.Cases)
-	for i := range jobs {
-		jobs[i] = job{x0: x0s[i], vf: profile.Generate(rng, opt.Steps)}
-	}
-
-	out := make([]Case, opt.Cases)
-	errs := make([]error, opt.Cases)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Workers)
-	fm := traffic.DefaultFuelModel()
-	for i := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			j := jobs[i]
-			var c Case
-			epRM, err := m.RunEpisode(core.AlwaysRun{}, j.x0, j.vf, fm)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			epBB, err := m.RunEpisode(core.BangBang{}, j.x0, j.vf, fm)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			c.FuelRM, c.EnergyRM = epRM.Fuel, epRM.Energy
-			c.FuelBB, c.EnergyBB = epBB.Fuel, epBB.Energy
-			c.SkipsBB = epBB.Result.Skips
-			c.Violations = epRM.Result.ViolationsX + epBB.Result.ViolationsX
-			c.CtrlTimeRM = epRM.Result.CtrlTime
-			c.CtrlCallsRM = epRM.Result.ControllerCalls
-			if drl != nil {
-				epDR, err := m.RunEpisode(drl, j.x0, j.vf, fm)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				c.FuelDRL, c.EnergyDRL = epDR.Fuel, epDR.Energy
-				c.SkipsDRL = epDR.Result.Skips
-				c.ForcedDRL = epDR.Result.Forced
-				c.Violations += epDR.Result.ViolationsX
-				c.CtrlTimeDRL = epDR.Result.CtrlTime
-				c.OverheadDRL = epDR.Result.OverheadTime
-				c.CtrlCallsDRL = epDR.Result.ControllerCalls
-			}
-			out[i] = c
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return 100 * (base - other) / base
 }
 
-// Fig4Result reproduces Figure 4: the distribution of fuel-consumption
-// savings of bang-bang control and DRL-based opportunistic intermittent
-// control over RMPC-only, across randomly generated cases.
+// SavingBB returns the bang-bang cost saving vs. the always-run baseline
+// in percent (0 for a degenerate zero-cost baseline).
+func (c *Case) SavingBB() float64 { return saving(c.CostRM, c.CostBB) }
+
+// SavingDRL returns the DRL cost saving vs. the always-run baseline in
+// percent (0 for a degenerate zero-cost baseline).
+func (c *Case) SavingDRL() float64 { return saving(c.CostRM, c.CostDRL) }
+
+// EnergySavingBB returns the bang-bang Σ‖u‖₁ saving in percent.
+func (c *Case) EnergySavingBB() float64 { return saving(c.EnergyRM, c.EnergyBB) }
+
+// EnergySavingDRL returns the DRL Σ‖u‖₁ saving in percent.
+func (c *Case) EnergySavingDRL() float64 { return saving(c.EnergyRM, c.EnergyDRL) }
+
+// caseSeed derives an independent per-case RNG seed (splitmix64 finalizer)
+// so cases can be generated on any worker in any order and still be
+// byte-identical across worker counts.
+func caseSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// forEachCase evaluates opt.Cases paired episodes on the shared worker
+// pool and folds each Case into visit in index order. The drl policy may
+// be nil to skip the DRL run (its Case fields stay zero).
+func forEachCase(inst plant.Instance, drl core.SkipPolicy, opt Options, visit func(i int, c *Case) error) error {
+	run := func(i int) (Case, error) {
+		rng := rand.New(rand.NewSource(caseSeed(opt.Seed, i)))
+		x0s, err := inst.SampleInitialStates(1, rng)
+		if err != nil {
+			return Case{}, fmt.Errorf("exp: case %d: sampling initial state: %w", i, err)
+		}
+		if len(x0s) == 0 {
+			return Case{}, fmt.Errorf("exp: case %d: sampling initial state: empty sample", i)
+		}
+		x0 := x0s[0]
+		w := inst.Disturbances(rng, opt.Steps)
+
+		var c Case
+		epRM, err := inst.RunEpisode(core.AlwaysRun{}, x0, w)
+		if err != nil {
+			return Case{}, fmt.Errorf("exp: case %d: %w", i, err)
+		}
+		epBB, err := inst.RunEpisode(core.BangBang{}, x0, w)
+		if err != nil {
+			return Case{}, fmt.Errorf("exp: case %d: %w", i, err)
+		}
+		c.CostRM, c.EnergyRM = epRM.Cost, epRM.Energy
+		c.CostBB, c.EnergyBB = epBB.Cost, epBB.Energy
+		c.SkipsBB = epBB.Result.Skips
+		c.Violations = epRM.Result.ViolationsX + epBB.Result.ViolationsX
+		c.CtrlTimeRM = epRM.Result.CtrlTime
+		c.CtrlCallsRM = epRM.Result.ControllerCalls
+		if drl != nil {
+			epDR, err := inst.RunEpisode(drl, x0, w)
+			if err != nil {
+				return Case{}, fmt.Errorf("exp: case %d: %w", i, err)
+			}
+			c.CostDRL, c.EnergyDRL = epDR.Cost, epDR.Energy
+			c.SkipsDRL = epDR.Result.Skips
+			c.ForcedDRL = epDR.Result.Forced
+			c.Violations += epDR.Result.ViolationsX
+			c.CtrlTimeDRL = epDR.Result.CtrlTime
+			c.OverheadDRL = epDR.Result.OverheadTime
+			c.CtrlCallsDRL = epDR.Result.ControllerCalls
+		}
+		return c, nil
+	}
+	return forEachOrdered(opt.Cases, opt.Workers, run, visit)
+}
+
+// trainFor trains the scenario's skipping policy with the options' budget.
+func trainFor(inst plant.Instance, opt Options) (core.SkipPolicy, rl.TrainStats, error) {
+	return inst.TrainSkipPolicy(plant.TrainConfig{
+		Episodes: opt.TrainEpisodes, Steps: opt.Steps, Seed: opt.Seed,
+	})
+}
+
+// Fig4Result is the savings-distribution experiment (the paper's Figure 4
+// on the ACC plant): the distribution of cost savings of bang-bang and
+// DRL-based opportunistic intermittent control over the always-run
+// baseline, across randomly generated cases.
 type Fig4Result struct {
-	Opt        Options
+	Plant     string // plant name
+	CostLabel string // unit of the cost metric
+	Scenario  plant.Scenario
+	Opt       Options
+	Cases     int
+
 	BBHist     *stats.Histogram // savings histogram, 10 %-wide bins
 	DRLHist    *stats.Histogram
-	BBSavings  []float64 // per-case fuel savings (%)
+	BBSavings  []float64 // per-case savings (%), only with Options.KeepPerCase
 	DRLSavings []float64
-	BBMean     float64 // paper: 16.28 %
-	DRLMean    float64 // paper: 23.83 %
+	BBMean     float64 // paper (acc): 16.28 %
+	DRLMean    float64 // paper (acc): 23.83 %
 	BBEnergy   float64 // mean energy saving (%) — Problem 1's objective
 	DRLEnergy  float64
-	SkipsDRL   float64 // mean skipped steps per 100 (paper: 79.4)
+	SkipsDRL   float64 // mean skipped steps per 100 (paper, acc: 79.4)
 	Violations int     // total safety violations (Theorem 1: 0)
 	Train      rl.TrainStats
 }
 
-// Fig4 trains the DRL agent on the Eq. 8 sinusoid scenario and evaluates
-// the three approaches on paired random cases.
-func Fig4(opt Options) (*Fig4Result, error) {
-	opt = opt.withDefaults()
-	sc := acc.Fig4Scenario()
-	m, err := acc.ModelFor(sc)
+// Fig4 trains the DRL agent on the plant's headline scenario and evaluates
+// the three approaches on paired random cases, aggregating streamingly.
+func Fig4(p plant.Plant, opt Options) (*Fig4Result, error) {
+	opt = opt.withDefaults(p)
+	sc := p.Headline()
+	inst, err := p.Instantiate(sc)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: Fig4(%s): %w", p.Name(), err)
 	}
-	agent, train, err := m.TrainDRL(sc.Profile, acc.TrainConfig{
-		Episodes: opt.TrainEpisodes, Steps: opt.Steps, Seed: opt.Seed,
-	})
+	policy, train, err := trainFor(inst, opt)
 	if err != nil {
-		return nil, err
-	}
-	cases, err := runCases(m, sc.Profile, m.DRLPolicy(agent), opt)
-	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: Fig4(%s): training: %w", p.Name(), err)
 	}
 
-	edges := []float64{0, 10, 20, 30, 40, 50, 60}
+	// 10 %-wide bins over the full attainable range: a saving vs. a
+	// non-negative baseline cost cannot exceed 100 %, but plants differ in
+	// where their mass lands (acc ~10–40 %, thermo's bang-bang ~80–90 %).
+	// Negative savings (e.g. under-trained agents) land in Underflow and
+	// are rendered explicitly; exactly 100 % (zero-cost run) in Overflow.
+	edges := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	res := &Fig4Result{
-		Opt:     opt,
-		BBHist:  stats.NewHistogram(edges),
-		DRLHist: stats.NewHistogram(edges),
-		Train:   train,
+		Plant:     p.Name(),
+		CostLabel: p.CostLabel(),
+		Scenario:  sc,
+		Opt:       opt,
+		BBHist:    stats.NewHistogram(edges),
+		DRLHist:   stats.NewHistogram(edges),
+		Train:     train,
 	}
-	for i := range cases {
-		c := &cases[i]
-		sb, sd := c.FuelSavingBB(), c.FuelSavingDRL()
-		res.BBSavings = append(res.BBSavings, sb)
-		res.DRLSavings = append(res.DRLSavings, sd)
+	err = forEachCase(inst, policy, opt, func(_ int, c *Case) error {
+		sb, sd := c.SavingBB(), c.SavingDRL()
+		if opt.KeepPerCase {
+			res.BBSavings = append(res.BBSavings, sb)
+			res.DRLSavings = append(res.DRLSavings, sd)
+		}
+		res.Cases++
 		res.BBHist.Add(sb)
 		res.DRLHist.Add(sd)
 		res.BBMean += sb
 		res.DRLMean += sd
-		res.BBEnergy += 100 * (c.EnergyRM - c.EnergyBB) / c.EnergyRM
-		res.DRLEnergy += 100 * (c.EnergyRM - c.EnergyDRL) / c.EnergyRM
+		res.BBEnergy += c.EnergySavingBB()
+		res.DRLEnergy += c.EnergySavingDRL()
 		res.SkipsDRL += float64(c.SkipsDRL) * 100 / float64(opt.Steps)
 		res.Violations += c.Violations
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	n := float64(len(cases))
-	res.BBMean /= n
-	res.DRLMean /= n
-	res.BBEnergy /= n
-	res.DRLEnergy /= n
-	res.SkipsDRL /= n
+	if n := float64(res.Cases); n > 0 {
+		res.BBMean /= n
+		res.DRLMean /= n
+		res.BBEnergy /= n
+		res.DRLEnergy /= n
+		res.SkipsDRL /= n
+	}
 	return res, nil
 }
 
-// SeriesPoint is one scenario's aggregate in a Fig. 5 / Fig. 6 sweep.
+// SeriesPoint is one scenario's aggregate in a ladder sweep.
 type SeriesPoint struct {
-	Scenario   acc.Scenario
-	DRLSaving  float64 // mean fuel saving vs RMPC-only (%)
+	Scenario   plant.Scenario
+	DRLSaving  float64 // mean cost saving vs always-run (%)
 	BBSaving   float64
 	DRLEnergy  float64 // mean energy saving (%)
 	SkipsDRL   float64
 	Violations int
 }
 
-// SeriesResult is a scenario sweep (Fig. 5 or Fig. 6).
+// SeriesResult is a scenario-ladder sweep (the paper's Fig. 5 / Fig. 6).
 type SeriesResult struct {
-	Opt    Options
-	Points []SeriesPoint
+	Plant     string
+	CostLabel string
+	Ladder    plant.Ladder
+	Opt       Options
+	Points    []SeriesPoint
 }
 
-// sweep trains and evaluates one scenario per point.
-func sweep(scs []acc.Scenario, opt Options) (*SeriesResult, error) {
-	opt = opt.withDefaults()
-	res := &SeriesResult{Opt: opt}
-	for _, sc := range scs {
-		m, err := acc.ModelFor(sc)
+// Sweep trains and evaluates one scenario per ladder rung.
+func Sweep(p plant.Plant, ladder plant.Ladder, opt Options) (*SeriesResult, error) {
+	opt = opt.withDefaults(p)
+	res := &SeriesResult{Plant: p.Name(), CostLabel: p.CostLabel(), Ladder: ladder, Opt: opt}
+	for _, sc := range ladder.Scenarios {
+		inst, err := p.Instantiate(sc)
 		if err != nil {
 			return nil, fmt.Errorf("exp: scenario %s: %w", sc.ID, err)
 		}
-		agent, _, err := m.TrainDRL(sc.Profile, acc.TrainConfig{
-			Episodes: opt.TrainEpisodes, Steps: opt.Steps, Seed: opt.Seed,
+		policy, _, err := trainFor(inst, opt)
+		if err != nil {
+			return nil, fmt.Errorf("exp: scenario %s: training: %w", sc.ID, err)
+		}
+		pt := SeriesPoint{Scenario: sc}
+		n := 0
+		err = forEachCase(inst, policy, opt, func(_ int, c *Case) error {
+			pt.DRLSaving += c.SavingDRL()
+			pt.BBSaving += c.SavingBB()
+			pt.DRLEnergy += c.EnergySavingDRL()
+			pt.SkipsDRL += float64(c.SkipsDRL) * 100 / float64(opt.Steps)
+			pt.Violations += c.Violations
+			n++
+			return nil
 		})
 		if err != nil {
 			return nil, fmt.Errorf("exp: scenario %s: %w", sc.ID, err)
 		}
-		cases, err := runCases(m, sc.Profile, m.DRLPolicy(agent), opt)
-		if err != nil {
-			return nil, fmt.Errorf("exp: scenario %s: %w", sc.ID, err)
+		if n > 0 {
+			pt.DRLSaving /= float64(n)
+			pt.BBSaving /= float64(n)
+			pt.DRLEnergy /= float64(n)
+			pt.SkipsDRL /= float64(n)
 		}
-		pt := SeriesPoint{Scenario: sc}
-		for i := range cases {
-			c := &cases[i]
-			pt.DRLSaving += c.FuelSavingDRL()
-			pt.BBSaving += c.FuelSavingBB()
-			pt.DRLEnergy += 100 * (c.EnergyRM - c.EnergyDRL) / c.EnergyRM
-			pt.SkipsDRL += float64(c.SkipsDRL) * 100 / float64(opt.Steps)
-			pt.Violations += c.Violations
-		}
-		n := float64(len(cases))
-		pt.DRLSaving /= n
-		pt.BBSaving /= n
-		pt.DRLEnergy /= n
-		pt.SkipsDRL /= n
 		res.Points = append(res.Points, pt)
 	}
 	return res, nil
 }
 
-// Fig5 reproduces Figure 5: DRL fuel savings across the shrinking
-// front-speed ranges of Ex.1–Ex.5 (Table I). The paper's shape: savings
-// increase as the range narrows.
-func Fig5(opt Options) (*SeriesResult, error) {
-	return sweep(acc.Table1Scenarios(), opt)
+// SweepLadder runs Sweep on the plant's ladder with the given name ("" =
+// the first, most important ladder).
+func SweepLadder(p plant.Plant, name string, opt Options) (*SeriesResult, error) {
+	ladders := p.Ladders()
+	if len(ladders) == 0 {
+		return nil, fmt.Errorf("exp: plant %s has no scenario ladders", p.Name())
+	}
+	if name == "" {
+		return Sweep(p, ladders[0], opt)
+	}
+	for _, l := range ladders {
+		if l.Name == name {
+			return Sweep(p, l, opt)
+		}
+	}
+	return nil, fmt.Errorf("exp: plant %s has no ladder %q", p.Name(), name)
 }
 
-// Fig6 reproduces Figure 6: DRL fuel savings across the regularity ladder
-// Ex.6–Ex.10. The paper's shape: savings increase with regularity from
-// Ex.7 to Ex.10, with purely-random Ex.6 an outlier on the high side.
-func Fig6(opt Options) (*SeriesResult, error) {
-	return sweep(acc.RegularityScenarios(), opt)
-}
-
-// TimingResult reproduces the Section IV-A computation-time analysis.
+// TimingResult is the Section IV-A computation-time analysis, generalized:
+// the per-step cost of κ against the monitor+policy overhead, and the
+// compute saving the skip rate buys.
 type TimingResult struct {
+	Plant          string
 	Opt            Options
-	RMPCPerStep    time.Duration // paper: 0.12 s on their i7
-	MonitorPerStep time.Duration // monitor + DQN inference; paper: 0.02 s
-	SkipsPer100    float64       // paper: 79.4
-	ComputeSaving  float64       // paper: ≈ 60 %
+	CtrlPerStep    time.Duration // paper (acc RMPC): 0.12 s on their i7
+	MonitorPerStep time.Duration // monitor + DQN inference; paper (acc): 0.02 s
+	SkipsPer100    float64       // paper (acc): 79.4
+	ComputeSaving  float64       // paper (acc): ≈ 60 %
 }
 
-// Timing measures the per-step cost of the RMPC against the monitor+policy
-// overhead and applies the paper's accounting:
+// Timing measures the per-step cost of κ against the monitor+policy
+// overhead on the headline scenario and applies the paper's accounting:
 //
 //	saving = (T_κ·n − (T_mon·n + T_κ·(n − skips))) / (T_κ·n).
-func Timing(opt Options) (*TimingResult, error) {
-	opt = opt.withDefaults()
-	sc := acc.Fig4Scenario()
-	m, err := acc.ModelFor(sc)
+func Timing(p plant.Plant, opt Options) (*TimingResult, error) {
+	opt = opt.withDefaults(p)
+	inst, err := p.Instantiate(p.Headline())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: Timing(%s): %w", p.Name(), err)
 	}
-	agent, _, err := m.TrainDRL(sc.Profile, acc.TrainConfig{
-		Episodes: opt.TrainEpisodes, Steps: opt.Steps, Seed: opt.Seed,
-	})
+	policy, _, err := trainFor(inst, opt)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: Timing(%s): training: %w", p.Name(), err)
 	}
-	cases, err := runCases(m, sc.Profile, m.DRLPolicy(agent), opt)
-	if err != nil {
-		return nil, err
-	}
-	res := &TimingResult{Opt: opt}
+	res := &TimingResult{Plant: p.Name(), Opt: opt}
 	var ctrlRM, overheadDRL time.Duration
-	var callsRM int
-	var steps, skips int
-	for i := range cases {
-		c := &cases[i]
+	var callsRM, steps, skips int
+	err = forEachCase(inst, policy, opt, func(_ int, c *Case) error {
 		ctrlRM += c.CtrlTimeRM
 		callsRM += c.CtrlCallsRM
 		overheadDRL += c.OverheadDRL
 		steps += opt.Steps
 		skips += c.SkipsDRL
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if callsRM == 0 || steps == 0 {
 		return nil, fmt.Errorf("exp: Timing: no data")
 	}
-	res.RMPCPerStep = ctrlRM / time.Duration(callsRM)
+	res.CtrlPerStep = ctrlRM / time.Duration(callsRM)
 	res.MonitorPerStep = overheadDRL / time.Duration(steps)
 	res.SkipsPer100 = float64(skips) * 100 / float64(steps)
-	tk := res.RMPCPerStep.Seconds()
+	tk := res.CtrlPerStep.Seconds()
 	tm := res.MonitorPerStep.Seconds()
 	n := 100.0
 	run := n - res.SkipsPer100
@@ -341,24 +377,24 @@ func Timing(opt Options) (*TimingResult, error) {
 	return res, nil
 }
 
-// Table1Row is one row of Table I plus our measured outcome for it.
+// Table1Row is one ladder rung plus the measured savings for it.
 type Table1Row struct {
-	Scenario  acc.Scenario
+	Scenario  plant.Scenario
 	DRLSaving float64
 	BBSaving  float64
 }
 
-// Table1 reproduces Table I (the Ex.1–Ex.5 settings) and annotates each
-// row with the measured savings from the Fig. 5 sweep.
-func Table1(opt Options) ([]Table1Row, error) {
-	series, err := Fig5(opt)
+// Table1 reproduces Table I — the plant's primary scenario ladder
+// annotated with measured savings from its sweep.
+func Table1(p plant.Plant, opt Options) ([]Table1Row, error) {
+	series, err := SweepLadder(p, "", opt)
 	if err != nil {
 		return nil, err
 	}
 	return Table1FromSeries(series), nil
 }
 
-// Table1FromSeries derives the Table I rows from an existing Fig. 5 sweep,
+// Table1FromSeries derives the Table I rows from an existing sweep,
 // avoiding a second training/evaluation pass.
 func Table1FromSeries(series *SeriesResult) []Table1Row {
 	rows := make([]Table1Row, len(series.Points))

@@ -4,25 +4,59 @@ import (
 	"strings"
 	"testing"
 
-	"oic/internal/acc"
 	"oic/internal/core"
+	"oic/internal/plant"
+
+	// Register the case studies the tests sweep over.
+	_ "oic/internal/acc"
+	_ "oic/internal/orbit"
+	_ "oic/internal/thermo"
 )
 
 // smallOpt keeps integration tests fast; full-scale runs live behind the
 // CLI and benchmarks.
 func smallOpt() Options {
-	return Options{Cases: 6, Steps: 40, Seed: 2, TrainEpisodes: 4}
+	return Options{Cases: 6, Steps: 40, Seed: 2, TrainEpisodes: 4, KeepPerCase: true}
+}
+
+func accPlant(t *testing.T) plant.Plant {
+	t.Helper()
+	p, err := plant.Get("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func headlineInstance(t *testing.T, p plant.Plant) plant.Instance {
+	t.Helper()
+	inst, err := p.Instantiate(p.Headline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func collectCases(t *testing.T, inst plant.Instance, drl core.SkipPolicy, opt Options) []Case {
+	t.Helper()
+	var out []Case
+	err := forEachCase(inst, drl, opt, func(i int, c *Case) error {
+		if i != len(out) {
+			t.Fatalf("visit out of order: got index %d, want %d", i, len(out))
+		}
+		out = append(out, *c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }
 
 func TestRunCasesPairedAndSafe(t *testing.T) {
-	m, err := acc.NewModel(acc.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cases, err := runCases(m, acc.Fig4Scenario().Profile, core.BangBang{}, smallOpt())
-	if err != nil {
-		t.Fatal(err)
-	}
+	inst := headlineInstance(t, accPlant(t))
+	opt := smallOpt()
+	cases := collectCases(t, inst, core.BangBang{}, opt)
 	if len(cases) != 6 {
 		t.Fatalf("cases = %d", len(cases))
 	}
@@ -30,36 +64,45 @@ func TestRunCasesPairedAndSafe(t *testing.T) {
 		if c.Violations != 0 {
 			t.Errorf("case %d: %d violations", i, c.Violations)
 		}
-		if c.FuelRM <= 0 || c.FuelBB <= 0 {
-			t.Errorf("case %d: fuel %v/%v", i, c.FuelRM, c.FuelBB)
+		if c.CostRM <= 0 || c.CostBB <= 0 {
+			t.Errorf("case %d: cost %v/%v", i, c.CostRM, c.CostBB)
 		}
 		if c.CtrlCallsRM != 40 {
-			t.Errorf("case %d: RMPC-only controller calls = %d, want 40", i, c.CtrlCallsRM)
+			t.Errorf("case %d: always-run controller calls = %d, want 40", i, c.CtrlCallsRM)
 		}
 	}
 }
 
 func TestRunCasesDeterministicAcrossWorkerCounts(t *testing.T) {
-	m, err := acc.NewModel(acc.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	inst := headlineInstance(t, accPlant(t))
 	opt1 := smallOpt()
 	opt1.Workers = 1
 	opt8 := smallOpt()
 	opt8.Workers = 8
-	a, err := runCases(m, acc.Fig4Scenario().Profile, nil, opt1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := runCases(m, acc.Fig4Scenario().Profile, nil, opt8)
-	if err != nil {
-		t.Fatal(err)
-	}
+	a := collectCases(t, inst, nil, opt1)
+	b := collectCases(t, inst, nil, opt8)
 	for i := range a {
-		if a[i].FuelBB != b[i].FuelBB || a[i].SkipsBB != b[i].SkipsBB {
+		if a[i].CostBB != b[i].CostBB || a[i].SkipsBB != b[i].SkipsBB {
 			t.Fatalf("case %d differs across worker counts", i)
 		}
+	}
+}
+
+func TestSavingGuardsDegenerateBaseline(t *testing.T) {
+	c := &Case{CostRM: 0, CostBB: 3, CostDRL: 5, EnergyRM: 0, EnergyBB: 1, EnergyDRL: 1}
+	for name, got := range map[string]float64{
+		"SavingBB":        c.SavingBB(),
+		"SavingDRL":       c.SavingDRL(),
+		"EnergySavingBB":  c.EnergySavingBB(),
+		"EnergySavingDRL": c.EnergySavingDRL(),
+	} {
+		if got != 0 {
+			t.Errorf("%s = %v with zero baseline, want 0", name, got)
+		}
+	}
+	c2 := &Case{CostRM: 10, CostBB: 8}
+	if got := c2.SavingBB(); got != 20 {
+		t.Errorf("SavingBB = %v, want 20", got)
 	}
 }
 
@@ -67,21 +110,21 @@ func TestFig4SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
-	r, err := Fig4(smallOpt())
+	r, err := Fig4(accPlant(t), smallOpt())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Violations != 0 {
 		t.Errorf("violations = %d", r.Violations)
 	}
-	if len(r.BBSavings) != 6 || len(r.DRLSavings) != 6 {
-		t.Fatalf("savings slices: %d/%d", len(r.BBSavings), len(r.DRLSavings))
+	if r.Cases != 6 || len(r.BBSavings) != 6 || len(r.DRLSavings) != 6 {
+		t.Fatalf("cases %d, savings slices: %d/%d", r.Cases, len(r.BBSavings), len(r.DRLSavings))
 	}
 	if got := r.BBHist.Total() + r.BBHist.Underflow + r.BBHist.Overflow; got != 6 {
 		t.Errorf("histogram total = %d", got)
 	}
 	out := RenderFig4(r)
-	for _, want := range []string{"Figure 4", "bang-bang", "opportunistic-DRL", "Theorem 1"} {
+	for _, want := range []string{"Figure 4", "bang-bang", "opportunistic-DRL", "Theorem 1", "acc"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
 		}
@@ -92,19 +135,77 @@ func TestFig4SmallScale(t *testing.T) {
 	}
 }
 
+// TestFig4StreamingMatchesKeepPerCase checks the O(1)-memory path computes
+// the exact same aggregates as the per-case-retaining path.
+func TestFig4StreamingMatchesKeepPerCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	p := accPlant(t)
+	kept, err := Fig4(p, smallOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optStream := smallOpt()
+	optStream.KeepPerCase = false
+	stream, err := Fig4(p, optStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream.BBSavings) != 0 || len(stream.DRLSavings) != 0 {
+		t.Errorf("streaming run retained %d/%d per-case savings", len(stream.BBSavings), len(stream.DRLSavings))
+	}
+	if stream.BBMean != kept.BBMean || stream.DRLMean != kept.DRLMean || stream.SkipsDRL != kept.SkipsDRL {
+		t.Errorf("streaming aggregates differ: %v/%v vs %v/%v", stream.BBMean, stream.DRLMean, kept.BBMean, kept.DRLMean)
+	}
+}
+
+// TestFig4DeterministicAcrossWorkerCounts is the determinism claim of
+// cmd/oic's doc comment, end to end: the full experiment — DRL training
+// included — produces identical results for 1 and 4 workers at a fixed
+// seed.
+func TestFig4DeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	p := accPlant(t)
+	opt1 := smallOpt()
+	opt1.Workers = 1
+	opt4 := smallOpt()
+	opt4.Workers = 4
+	a, err := Fig4(p, opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig4(p, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BBMean != b.BBMean || a.DRLMean != b.DRLMean ||
+		a.BBEnergy != b.BBEnergy || a.DRLEnergy != b.DRLEnergy ||
+		a.SkipsDRL != b.SkipsDRL || a.Violations != b.Violations {
+		t.Fatalf("Fig4 differs across worker counts:\n1 worker: %+v\n4 workers: %+v", a, b)
+	}
+	for i := range a.BBSavings {
+		if a.BBSavings[i] != b.BBSavings[i] || a.DRLSavings[i] != b.DRLSavings[i] {
+			t.Fatalf("per-case savings differ at case %d", i)
+		}
+	}
+}
+
 func TestTimingSmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
-	r, err := Timing(smallOpt())
+	r, err := Timing(accPlant(t), smallOpt())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.RMPCPerStep <= 0 || r.MonitorPerStep <= 0 {
-		t.Errorf("timings: %v / %v", r.RMPCPerStep, r.MonitorPerStep)
+	if r.CtrlPerStep <= 0 || r.MonitorPerStep <= 0 {
+		t.Errorf("timings: %v / %v", r.CtrlPerStep, r.MonitorPerStep)
 	}
-	if r.RMPCPerStep < r.MonitorPerStep {
-		t.Errorf("RMPC (%v) should dominate the monitor+policy overhead (%v)", r.RMPCPerStep, r.MonitorPerStep)
+	if r.CtrlPerStep < r.MonitorPerStep {
+		t.Errorf("κ (%v) should dominate the monitor+policy overhead (%v) on the RMPC plant", r.CtrlPerStep, r.MonitorPerStep)
 	}
 	if r.ComputeSaving <= 0 || r.ComputeSaving >= 100 {
 		t.Errorf("compute saving = %v%%", r.ComputeSaving)
@@ -118,7 +219,10 @@ func TestSweepSingleScenario(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
-	r, err := sweep(acc.Table1Scenarios()[:1], smallOpt())
+	p := accPlant(t)
+	ladder := p.Ladders()[0]
+	ladder.Scenarios = ladder.Scenarios[:1]
+	r, err := Sweep(p, ladder, smallOpt())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,19 +232,59 @@ func TestSweepSingleScenario(t *testing.T) {
 	if r.Points[0].Violations != 0 {
 		t.Errorf("violations = %d", r.Points[0].Violations)
 	}
-	out := RenderSeries("Figure 5", r, "note")
+	out := RenderSeries(r)
 	if !strings.Contains(out, "Ex.1") {
 		t.Errorf("render:\n%s", out)
 	}
-	if !strings.Contains(CSVSeries(r), "Ex.1,30,50") {
+	if !strings.Contains(CSVSeries(r), "Ex.1") {
 		t.Error("csv missing scenario row")
 	}
 }
 
+// TestCrossPlantFig4 runs a tiny headline experiment on every registered
+// plant: the whole harness — training included — must work for each, with
+// zero safety violations (Theorem 1 is plant-agnostic).
+func TestCrossPlantFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	for _, name := range plant.Names() {
+		t.Run(name, func(t *testing.T) {
+			p, err := plant.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := Options{Cases: 3, Steps: 25, Seed: 3, TrainEpisodes: 2}
+			r, err := Fig4(p, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Violations != 0 {
+				t.Errorf("violations = %d", r.Violations)
+			}
+			if r.Cases != 3 {
+				t.Errorf("cases = %d", r.Cases)
+			}
+			if !strings.Contains(RenderFig4(r), p.CostLabel()) {
+				t.Error("render missing cost label")
+			}
+		})
+	}
+}
+
+func TestSweepLadderLookup(t *testing.T) {
+	p := accPlant(t)
+	if _, err := SweepLadder(p, "no-such-ladder", Options{Cases: 1, Steps: 5, TrainEpisodes: 1}); err == nil {
+		t.Fatal("unknown ladder should fail")
+	}
+}
+
 func TestTable1FromSeries(t *testing.T) {
+	p := accPlant(t)
+	scs := p.Ladders()[0].Scenarios
 	series := &SeriesResult{Points: []SeriesPoint{
-		{Scenario: acc.Table1Scenarios()[0], DRLSaving: 7.5, BBSaving: 5.5},
-		{Scenario: acc.Table1Scenarios()[1], DRLSaving: 8.5, BBSaving: 6.0},
+		{Scenario: scs[0], DRLSaving: 7.5, BBSaving: 5.5},
+		{Scenario: scs[1], DRLSaving: 8.5, BBSaving: 6.0},
 	}}
 	rows := Table1FromSeries(series)
 	if len(rows) != 2 || rows[0].DRLSaving != 7.5 || rows[1].Scenario.ID != "Ex.2" {
@@ -150,19 +294,6 @@ func TestTable1FromSeries(t *testing.T) {
 	for _, want := range []string{"Table I", "Ex.1", "[30, 50]", "7.50"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
-		}
-	}
-}
-
-func TestShortNameHelper(t *testing.T) {
-	cases := map[string]string{
-		"bounded-random[30,50]|a|<=20": "bounded-random",
-		"sinusoid(amp=9,noise=1)":      "sinusoid",
-		"plain":                        "plain",
-	}
-	for in, want := range cases {
-		if got := shortName(in); got != want {
-			t.Errorf("shortName(%q) = %q, want %q", in, got, want)
 		}
 	}
 }

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The shared worker pool bounds the total number of concurrently running
+// evaluation episodes across every experiment in the process, so
+// concurrent sweeps cannot oversubscribe the machine. Each forEachOrdered
+// call additionally respects its own per-call worker cap.
+var (
+	poolInit sync.Once
+	poolSem  chan struct{}
+)
+
+func sharedPool() chan struct{} {
+	poolInit.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 1 {
+			n = 1
+		}
+		poolSem = make(chan struct{}, n)
+	})
+	return poolSem
+}
+
+// forEachOrdered evaluates run(0)…run(n−1) with at most workers concurrent
+// tasks (additionally bounded by the shared pool) and hands every result
+// to visit in strict index order. In-order delivery makes downstream
+// floating-point accumulation independent of the worker count, and the
+// bounded reorder window keeps memory O(workers) regardless of n.
+//
+// The first error from run or visit is returned; once it occurs, no new
+// tasks start (already-running tasks are drained and discarded).
+func forEachOrdered(n, workers int, run func(i int) (Case, error), visit func(i int, c *Case) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	type item struct {
+		i   int
+		c   Case
+		err error
+	}
+	results := make(chan item, workers)
+	// window bounds the number of completed-but-undelivered cases, so a
+	// slow early case cannot make the reorder buffer grow with n.
+	window := make(chan struct{}, 2*workers)
+	sem := make(chan struct{}, workers)
+	pool := sharedPool()
+	var failed atomic.Bool
+
+	var wg sync.WaitGroup
+	go func() {
+		for i := 0; i < n; i++ {
+			if failed.Load() {
+				break
+			}
+			window <- struct{}{}
+			sem <- struct{}{}
+			pool <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var it item
+				if failed.Load() {
+					it = item{i: i, err: errAborted}
+				} else {
+					c, err := run(i)
+					it = item{i: i, c: c, err: err}
+				}
+				<-pool
+				<-sem
+				results <- it
+			}(i)
+		}
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := make(map[int]item, 2*workers)
+	next := 0
+	var firstErr error
+	for it := range results {
+		if it.err != nil {
+			failed.Store(true)
+		}
+		pending[it.i] = it
+		for {
+			p, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			<-window
+			next++
+			if firstErr != nil {
+				continue
+			}
+			if p.err != nil {
+				if !errors.Is(p.err, errAborted) {
+					firstErr = p.err
+				}
+				continue
+			}
+			if err := visit(p.i, &p.c); err != nil {
+				firstErr = err
+				failed.Store(true)
+			}
+		}
+	}
+	return firstErr
+}
+
+// errAborted marks tasks cancelled because an earlier task already failed;
+// it is never surfaced to callers.
+var errAborted = errors.New("exp: aborted after earlier failure")

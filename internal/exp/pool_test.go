@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachOrderedAbortsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := forEachOrdered(200, 4, func(i int) (Case, error) {
+		ran.Add(1)
+		if i == 3 {
+			return Case{}, boom
+		}
+		return Case{}, nil
+	}, func(int, *Case) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 200 {
+		t.Fatalf("all %d tasks ran despite early error", n)
+	} else {
+		t.Logf("ran %d of 200 before abort", n)
+	}
+}
+
+func TestForEachOrderedVisitErrorStops(t *testing.T) {
+	stop := errors.New("stop")
+	var visited atomic.Int64
+	err := forEachOrdered(100, 4, func(i int) (Case, error) { return Case{}, nil },
+		func(i int, _ *Case) error {
+			visited.Add(1)
+			if i == 2 {
+				return stop
+			}
+			return nil
+		})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop", err)
+	}
+	if v := visited.Load(); v != 3 {
+		t.Fatalf("visited %d, want exactly 3 (in-order delivery stops at the error)", v)
+	}
+}

@@ -1,0 +1,268 @@
+// Package orbit is a spacecraft station-keeping case study, after the
+// impulsive orbit-keeping setting of Ong, Bahati & Ames (2022): a double
+// integrator tracking the center of a station-keeping window under bounded
+// perturbation accelerations (drag, solar radiation pressure, third-body
+// residuals), with impulsive thrust bounds.
+//
+// State: (along-track position deviation p, velocity deviation v) in
+// normalized units. One control period δ is one decision epoch:
+//
+//	p⁺ = p + v·δ + δ²/2·u + w_p
+//	v⁺ = v + u·δ + w_v
+//
+// κ is the same tube-based RMPC as the ACC case study (Eq. 5), so the
+// plant exercises the Proposition 1 feasible-set route to XI on a second,
+// marginally stable system. The cost metric is Δv = Σ|u|·δ — the
+// propellant currency of station-keeping: every skipped step is a thrust
+// opportunity the spacecraft declines at zero propellant.
+package orbit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"oic/internal/controller"
+	"oic/internal/core"
+	"oic/internal/lti"
+	"oic/internal/mat"
+	"oic/internal/plant"
+	"oic/internal/poly"
+	"oic/internal/rl"
+)
+
+// Plant constants (normalized units).
+const (
+	Delta = 1.0 // decision period
+
+	PosMax = 10.0 // station-keeping window half-width
+	VelMax = 1.0  // velocity deviation bound
+	UMax   = 0.2  // impulsive thrust acceleration bound
+
+	WPosMax = 0.01 // design bound, position channel perturbation
+	WVelMax = 0.02 // design bound, velocity channel perturbation
+
+	DefaultHorizon = 10
+	EpisodeSteps   = 120
+)
+
+// SpaceWeather is the exogenous perturbation process: an orbital-harmonic
+// component (periodic drag/SRP variation), a bounded random walk, and
+// uniform noise, clamped to the design disturbance box.
+type SpaceWeather struct {
+	HarmonicAmp float64 // harmonic amplitude on the velocity channel
+	Period      int     // harmonic period in steps (0 = none)
+	WalkStep    float64 // random-walk step half-range, velocity channel
+	Noise       float64 // uniform noise half-range, velocity channel
+	PosNoise    float64 // uniform noise half-range, position channel
+}
+
+// Trace draws an episode-long perturbation sequence inside the W box.
+func (sw SpaceWeather) Trace(rng *rand.Rand, steps int) []mat.Vec {
+	out := make([]mat.Vec, steps)
+	walk := 0.0
+	for t := range out {
+		wv := sw.Noise * (2*rng.Float64() - 1)
+		if sw.Period > 0 {
+			wv += sw.HarmonicAmp * math.Sin(2*math.Pi*float64(t)/float64(sw.Period))
+		}
+		if sw.WalkStep > 0 {
+			walk = min(max(walk+sw.WalkStep*(2*rng.Float64()-1), -WVelMax), WVelMax)
+			wv += walk
+		}
+		wp := sw.PosNoise * (2*rng.Float64() - 1)
+		out[t] = mat.Vec{
+			min(max(wp, -WPosMax), WPosMax),
+			min(max(wv, -WVelMax), WVelMax),
+		}
+	}
+	return out
+}
+
+// Model bundles the station-keeping system, the RMPC κ, and the safety
+// sets. Like the ACC model, XI is the RMPC's feasible region
+// (Proposition 1) and X′ = B(XI, 0) ∩ XI.
+type Model struct {
+	Sys  *lti.System
+	RMPC *controller.RMPC
+	Sets core.SafetySets
+}
+
+// NewModel constructs the station-keeping plant.
+func NewModel() (*Model, error) {
+	a := mat.FromRows([][]float64{{1, Delta}, {0, 1}})
+	b := mat.FromRows([][]float64{{Delta * Delta / 2}, {Delta}})
+	sys := lti.NewSystem(a, b).WithConstraints(
+		poly.Box([]float64{-PosMax, -VelMax}, []float64{PosMax, VelMax}),
+		poly.Box([]float64{-UMax}, []float64{UMax}),
+		poly.Box([]float64{-WPosMax, -WVelMax}, []float64{WPosMax, WVelMax}),
+	)
+
+	rmpc, err := controller.NewRMPC(sys, controller.RMPCConfig{
+		Horizon:     DefaultHorizon,
+		StateWeight: 1,
+		InputWeight: 0.1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("orbit: NewModel: %w", err)
+	}
+	xi, err := rmpc.FeasibleSet()
+	if err != nil {
+		return nil, fmt.Errorf("orbit: NewModel: feasible set: %w", err)
+	}
+	sets, err := core.ComputeSafetySets(sys, xi)
+	if err != nil {
+		return nil, fmt.Errorf("orbit: NewModel: %w", err)
+	}
+	return &Model{Sys: sys, RMPC: rmpc, Sets: sets}, nil
+}
+
+// Plant implements plant.Plant; it is registered under "orbit".
+type Plant struct{}
+
+func init() { plant.Register(Plant{}) }
+
+// Name implements plant.Plant.
+func (Plant) Name() string { return "orbit" }
+
+// Description implements plant.Plant.
+func (Plant) Description() string {
+	return "spacecraft station-keeping with impulsive thrust bounds, after Ong et al. 2022 (RMPC, Δv cost)"
+}
+
+// CostLabel implements plant.Plant.
+func (Plant) CostLabel() string { return "Δv" }
+
+// EpisodeSteps implements plant.Plant.
+func (Plant) EpisodeSteps() int { return EpisodeSteps }
+
+// scenario couples the generic descriptor with its perturbation process.
+type scenario struct {
+	plant.Scenario
+	Weather SpaceWeather
+}
+
+// scenarios is the space-weather ladder Orb.1–Orb.4.
+func scenarios() []scenario {
+	return []scenario{
+		{
+			Scenario: plant.Scenario{
+				ID:          "Orb.1",
+				Description: "quiet: small uncorrelated perturbations",
+				Detail:      "noise ±0.005",
+			},
+			Weather: SpaceWeather{Noise: 0.005, PosNoise: 0.002},
+		},
+		{
+			Scenario: plant.Scenario{
+				ID:          "Orb.2",
+				Description: "nominal: slowly varying drag via a bounded random walk",
+				Detail:      "walk ±0.004/step",
+			},
+			Weather: SpaceWeather{WalkStep: 0.004, Noise: 0.004, PosNoise: 0.004},
+		},
+		{
+			Scenario: plant.Scenario{
+				ID:          "Orb.3",
+				Description: "active: orbital-harmonic drag/SRP variation with noise",
+				Detail:      "harmonic 0.012 / 60 steps",
+			},
+			Weather: SpaceWeather{HarmonicAmp: 0.012, Period: 60, Noise: 0.004, PosNoise: 0.004},
+		},
+		{
+			Scenario: plant.Scenario{
+				ID:          "Orb.4",
+				Description: "storm: near-full-range perturbations on both channels",
+				Detail:      "noise ±0.018",
+			},
+			Weather: SpaceWeather{Noise: 0.018, PosNoise: 0.009},
+		},
+	}
+}
+
+// Headline implements plant.Plant: the harmonic Orb.3 scenario — the most
+// structure for a learned policy to exploit, like the ACC's Fig. 4
+// sinusoid.
+func (Plant) Headline() plant.Scenario { return scenarios()[2].Scenario }
+
+// Ladders implements plant.Plant: one space-weather severity ladder.
+func (Plant) Ladders() []plant.Ladder {
+	scs := scenarios()
+	out := make([]plant.Scenario, len(scs))
+	for i, sc := range scs {
+		out[i] = sc.Scenario
+	}
+	return []plant.Ladder{{
+		Name:      "weather",
+		Title:     "DRL Δv saving vs space-weather severity (Orb.1–Orb.4)",
+		PaperNote: "expected shape: savings shrink as perturbations approach the design bound",
+		Scenarios: out,
+	}}
+}
+
+// sharedModel caches the scenario-independent model: every space-weather
+// pattern shares the same design disturbance box, so the RMPC synthesis
+// and feasible-set projection run once per process. The model is
+// immutable after construction (the feasible set is materialized inside
+// NewModel) and safe to share.
+var sharedModel = sync.OnceValues(NewModel)
+
+// Instantiate implements plant.Plant.
+func (Plant) Instantiate(gsc plant.Scenario) (plant.Instance, error) {
+	for _, sc := range scenarios() {
+		if sc.ID == gsc.ID {
+			m, err := sharedModel()
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{m: m, sc: sc}, nil
+		}
+	}
+	return nil, fmt.Errorf("orbit: unknown scenario %q", gsc.ID)
+}
+
+// Instance is the station-keeping model bound to one space-weather
+// scenario.
+type Instance struct {
+	m  *Model
+	sc scenario
+}
+
+// Model exposes the underlying station-keeping model.
+func (in *Instance) Model() *Model { return in.m }
+
+// System implements plant.Instance.
+func (in *Instance) System() *lti.System { return in.m.Sys }
+
+// Sets implements plant.Instance.
+func (in *Instance) Sets() core.SafetySets { return in.m.Sets }
+
+// Framework implements plant.Instance.
+func (in *Instance) Framework(policy core.SkipPolicy, memory int) (*core.Framework, error) {
+	return core.NewFramework(in.m.Sys, in.m.RMPC, in.m.Sets, policy, memory)
+}
+
+// SampleInitialStates implements plant.Instance.
+func (in *Instance) SampleInitialStates(n int, rng *rand.Rand) ([]mat.Vec, error) {
+	return in.m.Sets.XPrime.Sample(n, rng.Float64)
+}
+
+// Disturbances implements plant.Instance.
+func (in *Instance) Disturbances(rng *rand.Rand, steps int) []mat.Vec {
+	return in.sc.Weather.Trace(rng, steps)
+}
+
+// RunEpisode implements plant.Instance; Cost is Δv = Σ|u|·δ.
+func (in *Instance) RunEpisode(policy core.SkipPolicy, x0 mat.Vec, w []mat.Vec) (*plant.Episode, error) {
+	res, err := plant.RunFramework(in, policy, x0, w)
+	if err != nil {
+		return nil, fmt.Errorf("orbit: RunEpisode: %w", err)
+	}
+	return &plant.Episode{Result: res, Cost: res.Energy * Delta, Energy: res.Energy}, nil
+}
+
+// TrainSkipPolicy implements plant.Instance via the generic DRL trainer.
+func (in *Instance) TrainSkipPolicy(cfg plant.TrainConfig) (core.SkipPolicy, rl.TrainStats, error) {
+	return plant.TrainDRL(in, cfg, EpisodeSteps)
+}

@@ -1,0 +1,72 @@
+package plant
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Plant{}
+)
+
+// Register adds a plant to the global registry. Case studies call it from
+// an init function so importing the package is enough to make the plant
+// available to the harness and the CLI. Registering a duplicate name
+// panics: it is always a programming error.
+func Register(p Plant) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := p.Name()
+	if name == "" {
+		panic("plant: Register: empty plant name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("plant: Register: duplicate plant %q", name))
+	}
+	registry[name] = p
+}
+
+// Get returns the registered plant with the given name.
+func Get(name string) (Plant, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("plant: unknown plant %q (registered: %v)", name, namesLocked())
+	}
+	return p, nil
+}
+
+// Names returns the registered plant names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindScenario looks up a scenario of p by ID across the headline and all
+// ladders.
+func FindScenario(p Plant, id string) (Scenario, error) {
+	if h := p.Headline(); h.ID == id {
+		return h, nil
+	}
+	for _, l := range p.Ladders() {
+		for _, sc := range l.Scenarios {
+			if sc.ID == id {
+				return sc, nil
+			}
+		}
+	}
+	return Scenario{}, fmt.Errorf("plant: %s has no scenario %q", p.Name(), id)
+}
