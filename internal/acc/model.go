@@ -21,6 +21,7 @@ package acc
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"oic/internal/controller"
 	"oic/internal/core"
@@ -133,6 +134,37 @@ func NewModel(cfg Config) (*Model, error) {
 	}
 
 	return &Model{Cfg: cfg, Sys: sys, RMPC: rmpc, Sets: sets, URef: uref, XRef: xref}, nil
+}
+
+// modelCache memoizes model construction per configuration, mirroring the
+// scenario-independent sync.OnceValues caches thermo and orbit use. acc
+// cannot share a single model — its safety sets depend on the scenario's
+// v_f design range — so the cache is keyed by the defaulted Config: the
+// expensive offline pipeline (tightening, terminal set, feasible-set
+// projection, X′) runs once per distinct range per process instead of once
+// per Instantiate. Construction errors are not cached; they re-derive
+// cheaply and keep the cache free of dead entries.
+var modelCache sync.Map // Config → *modelEntry
+
+type modelEntry struct {
+	once sync.Once
+	m    *Model
+	err  error
+}
+
+// SharedModel returns the process-wide memoized model for cfg. The result
+// is shared: its sets and compiled RMPC program are immutable, and
+// sessions fork per-session solver workspaces, so sharing is safe for
+// concurrent evaluation workers.
+func SharedModel(cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	e, _ := modelCache.LoadOrStore(cfg, &modelEntry{})
+	entry := e.(*modelEntry)
+	entry.once.Do(func() { entry.m, entry.err = NewModel(cfg) })
+	if entry.err != nil {
+		modelCache.Delete(cfg)
+	}
+	return entry.m, entry.err
 }
 
 // Disturbance maps a front-vehicle speed to the model disturbance vector

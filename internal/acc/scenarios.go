@@ -115,8 +115,8 @@ func StopAndGoScenario() Scenario {
 	}
 }
 
-// ModelFor builds the case-study model whose safety sets are designed for
-// the scenario's v_f range.
+// ModelFor returns the case-study model whose safety sets are designed
+// for the scenario's v_f range, memoized per range (SharedModel).
 func ModelFor(sc Scenario) (*Model, error) {
-	return NewModel(Config{VfMin: sc.VfMin, VfMax: sc.VfMax})
+	return SharedModel(Config{VfMin: sc.VfMin, VfMax: sc.VfMax})
 }

@@ -24,6 +24,17 @@ type Controller interface {
 	Name() string
 }
 
+// SessionController is implemented by controllers that keep mutable
+// per-call solver state (e.g. the RMPC's warm-start workspace). ForSession
+// returns a handle that shares the expensive compiled and offline data but
+// owns a fresh workspace, so concurrent sessions never race and each
+// session's results depend only on its own call sequence — core.Session
+// forks one automatically.
+type SessionController interface {
+	Controller
+	ForSession() Controller
+}
+
 // AffineFeedback is u = K·(x − XRef) + URef, the analytic controller class
 // for which the paper's model-based skipping approach applies.
 type AffineFeedback struct {

@@ -1,0 +1,146 @@
+package controller
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oic/internal/mat"
+)
+
+// planCost evaluates the Eq. 5 horizon objective of an input sequence via
+// the nominal (disturbance-free) rollout:
+// Σ_{k=1..N−1} P·‖x(k)−XRef‖₁ + Σ_{k=0..N−1} Q·‖u(k)−URef‖₁.
+func planCost(r *RMPC, x0 mat.Vec, seq []mat.Vec) float64 {
+	x := x0.Clone()
+	cost := 0.0
+	for k := 0; k < r.cfg.Horizon; k++ {
+		cost += r.cfg.InputWeight * seq[k].Sub(r.cfg.URef).Norm1()
+		x = r.sys.A.MulVec(x).Add(r.sys.B.MulVec(seq[k])).Add(r.sys.C)
+		if k+1 < r.cfg.Horizon {
+			cost += r.cfg.StateWeight * x.Sub(r.cfg.XRef).Norm1()
+		}
+	}
+	return cost
+}
+
+// checkPlanFeasible asserts the sequence satisfies the horizon program's
+// constraints: u(k) ∈ U, the nominal x(k) in the tightened sets, and the
+// terminal state in Xt.
+func checkPlanFeasible(t *testing.T, r *RMPC, x0 mat.Vec, seq []mat.Vec) {
+	t.Helper()
+	n := r.cfg.Horizon
+	x := x0.Clone()
+	for k := 0; k < n; k++ {
+		if !r.sys.U.Contains(seq[k], 1e-6) {
+			t.Fatalf("u(%d) = %v outside U", k, seq[k])
+		}
+		x = r.sys.A.MulVec(x).Add(r.sys.B.MulVec(seq[k])).Add(r.sys.C)
+		if k+1 < n {
+			if !r.tightened[k+1].Contains(x, 1e-6) {
+				t.Fatalf("nominal x(%d) = %v outside X(%d)", k+1, x, k+1)
+			}
+		}
+	}
+	if !r.terminal.Contains(x, 1e-6) {
+		t.Fatalf("terminal state %v outside Xt", x)
+	}
+}
+
+// TestRMPCWarmResolveMatchesColdAlongTrajectory drives the warm-started
+// controller along simulated closed-loop trajectories and, at every step,
+// cross-checks it against a cold resolve from a fresh workspace: both must
+// report the same feasibility, achieve the same optimal objective within
+// 1e-7, and return constraint-satisfying plans. This is the controller-
+// level half of the warm/cold equivalence property (the LP-level half
+// lives in internal/lp).
+func TestRMPCWarmResolveMatchesColdAlongTrajectory(t *testing.T) {
+	r := accRMPC(t) // one handle reused: cold first solve, warm afterwards
+	sys := accSystem()
+	feas, err := r.FeasibleSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	starts, err := feas.Sample(4, rng.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x0 := range starts {
+		x := x0.Clone()
+		for step := 0; step < 30; step++ {
+			warmSeq, warmErr := r.ComputeSequence(x)
+			cold := r.ForSession().(*RMPC) // fresh workspace: guaranteed cold solve
+			coldSeq, coldErr := cold.ComputeSequence(x)
+			if (warmErr == nil) != (coldErr == nil) {
+				t.Fatalf("step %d at %v: warm err %v, cold err %v", step, x, warmErr, coldErr)
+			}
+			if warmErr != nil {
+				t.Fatalf("step %d: infeasible inside the feasible set at %v: %v", step, x, warmErr)
+			}
+			jw := planCost(r, x, warmSeq)
+			jc := planCost(r, x, coldSeq)
+			if d := math.Abs(jw - jc); d > 1e-7*(1+math.Abs(jc)) {
+				t.Fatalf("step %d at %v: warm objective %v vs cold %v (Δ=%g)", step, x, jw, jc, d)
+			}
+			checkPlanFeasible(t, r, x, warmSeq)
+
+			w := mat.Vec{2*rng.Float64() - 1, 0}
+			x = sys.Step(x, warmSeq[0], w)
+		}
+	}
+	// The chain above must actually have exercised the warm path.
+	stats := r.ws.sv.Stats()
+	if stats.Warm == 0 {
+		t.Fatalf("warm path never taken (stats %+v)", stats)
+	}
+}
+
+// TestRMPCForSessionIndependence verifies that session handles share the
+// compiled program but not solve state: interleaved computations on two
+// handles give the same answers as isolated ones.
+func TestRMPCForSessionIndependence(t *testing.T) {
+	r := accRMPC(t)
+	h1 := r.ForSession().(*RMPC)
+	h2 := r.ForSession().(*RMPC)
+	if h1.prog != r.prog || h2.prog != r.prog {
+		t.Fatal("session handles must share the compiled program")
+	}
+	if h1.ws == r.ws || h2.ws == r.ws || h1.ws == h2.ws {
+		t.Fatal("session handles must own their workspaces")
+	}
+	xa := mat.Vec{150, 40}
+	xb := mat.Vec{140, 45}
+	ua1, err := h1.Compute(xa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Compute(xb); err != nil { // pollute h2's warm state
+		t.Fatal(err)
+	}
+	ua2, err := h1.Compute(xa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ua1.Equal(ua2, 1e-9) {
+		t.Fatalf("handle state leaked across sessions: %v vs %v", ua1, ua2)
+	}
+}
+
+// TestRMPCComputeMatchesSequenceHead pins the Compute fast path: it must
+// return exactly the first element of ComputeSequence without the tail.
+func TestRMPCComputeMatchesSequenceHead(t *testing.T) {
+	r := accRMPC(t)
+	x := mat.Vec{145, 42}
+	u, err := r.Compute(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := r.ComputeSequence(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(seq[0], 1e-12) {
+		t.Fatalf("Compute %v != sequence head %v", u, seq[0])
+	}
+}

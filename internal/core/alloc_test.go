@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"oic/internal/mat"
+)
+
+// TestSkipPathZeroAllocs pins the Algorithm-1 skip path (monitor + policy
+// + zero input + plant update + counters) at zero allocations per step
+// once per-step recording is off — the regression guard behind
+// BenchmarkFrameworkStepSkip's 0 allocs/op.
+func TestSkipPathZeroAllocs(t *testing.T) {
+	sys, fb, sets := testRig(t)
+	f, err := NewFramework(sys, fb, sets, BangBang{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The origin is an equilibrium of the drift-free double integrator, so
+	// with w = 0 and skipping (u = 0) every step stays in X′.
+	sess, err := f.NewSession(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetRecording(false)
+	w := make(mat.Vec, sys.NX())
+	if _, err := sess.Step(w); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := sess.Step(w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("skip path allocates %v times per step, want 0", allocs)
+	}
+	if sess.Result.Runs != 0 {
+		t.Fatalf("expected a pure skip run, got %d controller runs", sess.Result.Runs)
+	}
+	if sess.Result.ViolationsX != 0 {
+		t.Fatalf("violations on the skip path: %d", sess.Result.ViolationsX)
+	}
+}
+
+// TestMonitorLevelZeroAllocs keeps the per-step membership check
+// allocation-free on its own.
+func TestMonitorLevelZeroAllocs(t *testing.T) {
+	_, _, sets := testRig(t)
+	m := NewMonitor(sets)
+	x := mat.Vec{0, 0}
+	allocs := testing.AllocsPerRun(200, func() { m.Level(x) })
+	if allocs != 0 {
+		t.Errorf("Monitor.Level allocates %v times, want 0", allocs)
+	}
+}
+
+// TestRecordingToggle documents the SetRecording contract: scalar history
+// is kept either way, per-step records only while recording.
+func TestRecordingToggle(t *testing.T) {
+	sys, fb, sets := testRig(t)
+	f, err := NewFramework(sys, fb, sets, BangBang{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.NewSession(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make(mat.Vec, sys.NX())
+	if _, err := sess.Step(w); err != nil {
+		t.Fatal(err)
+	}
+	sess.SetRecording(false)
+	rec, err := sess.Step(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.X != nil || rec.U != nil || rec.Next != nil {
+		t.Error("non-recording step should not carry vector snapshots")
+	}
+	if rec.T != 1 {
+		t.Errorf("rec.T = %d, want 1", rec.T)
+	}
+	if got := len(sess.Result.Records); got != 1 {
+		t.Errorf("records = %d, want only the recorded step", got)
+	}
+	if got := sess.Result.Skips; got != 2 {
+		t.Errorf("skips = %d, want 2 (counters track every step)", got)
+	}
+}

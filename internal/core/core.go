@@ -235,11 +235,21 @@ func (f *Framework) Monitor() *Monitor { return f.monitor }
 
 // Session is an in-flight run of Algorithm 1 that external simulators can
 // drive step by step (the traffic simulator and the DRL trainer both do).
+//
+// Each session runs against its own controller handle: when the framework
+// controller implements controller.SessionController (the RMPC does), the
+// session forks a per-session workspace at creation, so concurrent
+// sessions over one shared framework never race and every session's solve
+// chain (cold first run, warm afterwards) depends only on its own steps.
 type Session struct {
 	f      *Framework
-	x      mat.Vec
+	kappa  controller.Controller
+	x      mat.Vec // current state (owned buffer)
+	xNext  mat.Vec // successor scratch, swapped with x each step
+	zeroU  mat.Vec // the skip input; never written
 	t      int
-	wHist  []mat.Vec
+	wHist  []mat.Vec // ring of owned buffers, most recent last
+	record bool
 	Result *Result
 }
 
@@ -249,12 +259,32 @@ func (f *Framework) NewSession(x0 mat.Vec) (*Session, error) {
 	if !f.Sets.XI.Contains(x0, 1e-9) {
 		return nil, fmt.Errorf("core: NewSession: initial state %v outside XI", x0)
 	}
+	kappa := f.Kappa
+	if sc, ok := kappa.(controller.SessionController); ok {
+		kappa = sc.ForSession()
+	}
 	wh := make([]mat.Vec, f.WMemory)
 	for i := range wh {
 		wh[i] = make(mat.Vec, f.Sys.NX())
 	}
-	return &Session{f: f, x: x0.Clone(), wHist: wh, Result: &Result{}}, nil
+	return &Session{
+		f:      f,
+		kappa:  kappa,
+		x:      x0.Clone(),
+		xNext:  make(mat.Vec, f.Sys.NX()),
+		zeroU:  make(mat.Vec, f.Sys.NU()),
+		wHist:  wh,
+		record: true,
+		Result: &Result{},
+	}, nil
 }
+
+// SetRecording toggles per-step record retention (on by default). With
+// recording off the session keeps only the aggregate Result counters, the
+// returned StepRecords carry scalar fields but nil vectors, and the skip
+// path allocates nothing — the mode the embedded-runtime benchmarks and
+// alloc regression tests measure.
+func (s *Session) SetRecording(on bool) { s.record = on }
 
 // State returns the current state.
 func (s *Session) State() mat.Vec { return s.x.Clone() }
@@ -303,10 +333,10 @@ func (s *Session) step(w mat.Vec, choice *bool) (StepRecord, error) {
 	}
 	res.OverheadTime += time.Since(tMon)
 
-	u := make(mat.Vec, f.Sys.NU())
+	u := s.zeroU // the skip path applies zero input and allocates nothing
 	if run {
 		tCtl := time.Now()
-		uc, err := f.Kappa.Compute(s.x)
+		uc, err := s.kappa.Compute(s.x)
 		res.CtrlTime += time.Since(tCtl)
 		if err != nil {
 			return StepRecord{}, fmt.Errorf("core: Session.Step: κ failed at %v (level %v): %w", s.x, level, err)
@@ -315,13 +345,16 @@ func (s *Session) step(w mat.Vec, choice *bool) (StepRecord, error) {
 		res.ControllerCalls++
 	}
 
-	next := f.Sys.Step(s.x, u, w)
+	f.Sys.StepInto(s.xNext, s.x, u, w)
 
-	rec := StepRecord{
-		T: s.t, X: s.x.Clone(), Level: level, Ran: run, Forced: forced,
-		U: u.Clone(), W: w.Clone(), Next: next.Clone(),
+	rec := StepRecord{T: s.t, Level: level, Ran: run, Forced: forced}
+	if s.record {
+		rec.X = s.x.Clone()
+		rec.U = u.Clone()
+		rec.W = w.Clone()
+		rec.Next = s.xNext.Clone()
+		res.Records = append(res.Records, rec)
 	}
-	res.Records = append(res.Records, rec)
 	res.Energy += u.Norm1()
 	if run {
 		res.Runs++
@@ -331,18 +364,21 @@ func (s *Session) step(w mat.Vec, choice *bool) (StepRecord, error) {
 	} else {
 		res.Skips++
 	}
-	if !f.Sets.X.Contains(next, 1e-7) {
+	if !f.Sets.X.Contains(s.xNext, 1e-7) {
 		res.ViolationsX++
 	}
-	if !f.Sets.XI.Contains(next, 1e-7) {
+	if !f.Sets.XI.Contains(s.xNext, 1e-7) {
 		res.ViolationsXI++
 	}
 
-	// Slide the disturbance window (most recent last).
+	// Slide the disturbance window (most recent last), recycling the
+	// oldest slot's buffer for the incoming disturbance.
+	oldest := s.wHist[0]
 	copy(s.wHist, s.wHist[1:])
-	s.wHist[len(s.wHist)-1] = w.Clone()
+	s.wHist[len(s.wHist)-1] = oldest
+	copy(oldest, w)
 
-	s.x = next
+	s.x, s.xNext = s.xNext, s.x
 	s.t++
 	return rec, nil
 }

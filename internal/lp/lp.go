@@ -117,6 +117,9 @@ func (p *Problem) SetObjective(c []float64) {
 	copy(p.c, c)
 }
 
+// Bounds returns variable i's current [lo, hi] bounds.
+func (p *Problem) Bounds(i int) (lo, hi float64) { return p.lower[i], p.upper[i] }
+
 // SetBounds restricts variable i to [lo, hi]. Use ±Inf for one-sided bounds.
 func (p *Problem) SetBounds(i int, lo, hi float64) {
 	if lo > hi {
@@ -171,364 +174,18 @@ type varMap struct {
 // Solve minimizes the objective and returns the solution. The problem is
 // not modified and may be solved repeatedly (e.g. with different bounds via
 // Clone).
-func (p *Problem) Solve() *Solution {
-	// --- Build equality standard form over nonnegative variables. ---
-	maps := make([]varMap, p.n)
-	ncols := 0
-	type extraRow struct {
-		col int
-		ub  float64
-	}
-	var uppers []extraRow // rows y_col ≤ ub for doubly bounded variables
-	for j := 0; j < p.n; j++ {
-		lo, hi := p.lower[j], p.upper[j]
-		switch {
-		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
-			maps[j] = varMap{kind: 2, col: ncols, col2: ncols + 1}
-			ncols += 2
-		case !math.IsInf(lo, -1):
-			maps[j] = varMap{kind: 0, col: ncols, shift: lo}
-			if !math.IsInf(hi, 1) {
-				uppers = append(uppers, extraRow{col: ncols, ub: hi - lo})
-			}
-			ncols++
-		default: // upper bound only
-			maps[j] = varMap{kind: 1, col: ncols, shift: hi}
-			ncols++
-		}
-	}
-
-	nrows := len(p.rows) + len(uppers)
-	// Count slack columns.
-	slackCols := 0
-	for _, r := range p.rows {
-		if r.sense != EQ {
-			slackCols++
-		}
-	}
-	slackCols += len(uppers)
-	total := ncols + slackCols
-
-	a := make([][]float64, nrows)
-	b := make([]float64, nrows)
-	for i := range a {
-		a[i] = make([]float64, total)
-	}
-	slack := ncols
-	for i, r := range p.rows {
-		rhs := r.rhs
-		for j, coef := range r.coeffs {
-			if coef == 0 {
-				continue
-			}
-			m := maps[j]
-			switch m.kind {
-			case 0:
-				a[i][m.col] += coef
-				rhs -= coef * m.shift
-			case 1:
-				a[i][m.col] -= coef
-				rhs -= coef * m.shift
-			case 2:
-				a[i][m.col] += coef
-				a[i][m.col2] -= coef
-			}
-		}
-		switch r.sense {
-		case LE:
-			a[i][slack] = 1
-			slack++
-		case GE:
-			a[i][slack] = -1
-			slack++
-		}
-		b[i] = rhs
-	}
-	for k, ur := range uppers {
-		i := len(p.rows) + k
-		a[i][ur.col] = 1
-		a[i][slack] = 1
-		slack++
-		b[i] = ur.ub
-	}
-
-	// Objective over standard-form columns. Constant terms from variable
-	// shifts are irrelevant to the argmin and the final objective is
-	// recomputed as c·x below.
-	cost := make([]float64, total)
-	for j, coef := range p.c {
-		if coef == 0 {
-			continue
-		}
-		m := maps[j]
-		switch m.kind {
-		case 0:
-			cost[m.col] += coef
-		case 1:
-			cost[m.col] -= coef
-		case 2:
-			cost[m.col] += coef
-			cost[m.col2] -= coef
-		}
-	}
-
-	y, status := simplexSolve(a, b, cost)
-	if status != Optimal {
-		return &Solution{Status: status}
-	}
-
-	x := make([]float64, p.n)
-	obj := 0.0
-	for j := 0; j < p.n; j++ {
-		m := maps[j]
-		switch m.kind {
-		case 0:
-			x[j] = m.shift + y[m.col]
-		case 1:
-			x[j] = m.shift - y[m.col]
-		case 2:
-			x[j] = y[m.col] - y[m.col2]
-		}
-		obj += p.c[j] * x[j]
-	}
-	return &Solution{Status: Optimal, X: x, Objective: obj}
-}
-
-// simplexSolve minimizes cost·y subject to a·y = b, y ≥ 0 using the
-// two-phase tableau simplex method. It returns the optimal y.
 //
-// Rows whose slack column can serve as the initial basic variable (a +1
-// slack with nonnegative right-hand side) skip phase-1 artificials, which
-// keeps the tableau small for the inequality-heavy programs posed by the
-// polytope and MPC layers.
-func simplexSolve(a [][]float64, b, cost []float64) ([]float64, Status) {
-	m := len(a)
-	if m == 0 {
-		// No constraints: optimum is 0 unless some cost is negative
-		// (then the problem is unbounded below since y ≥ 0 only).
-		for _, c := range cost {
-			if c < -eps {
-				return nil, Unbounded
-			}
-		}
-		return make([]float64, len(cost)), Optimal
+// Solve is a thin wrapper over a one-shot compiled Solver; callers that
+// resolve the same structure with changing right-hand sides or bounds
+// (MPC steps, branch-and-bound nodes) should compile once with NewSolver
+// and reuse it.
+func (p *Problem) Solve() *Solution {
+	sol := NewSolver(p).Solve()
+	out := &Solution{Status: sol.Status, Objective: sol.Objective}
+	if sol.Status == Optimal {
+		out.X = append([]float64(nil), sol.X...)
 	}
-	n := len(a[0])
-
-	// Normalize to b ≥ 0.
-	for i := 0; i < m; i++ {
-		if b[i] < 0 {
-			b[i] = -b[i]
-			for j := 0; j < n; j++ {
-				a[i][j] = -a[i][j]
-			}
-		}
-	}
-
-	// A column j can seed the basis for row i if it is a unit column
-	// (+1 in row i, 0 elsewhere). Slack columns of LE rows with b ≥ 0 have
-	// exactly this shape. Count column support to find them.
-	basisOf := make([]int, m)
-	for i := range basisOf {
-		basisOf[i] = -1
-	}
-	colRow := make([]int, n)  // row of the single nonzero, -1 if not unit
-	colOnes := make([]int, n) // count of nonzeros
-	for j := 0; j < n; j++ {
-		colRow[j] = -1
-	}
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			if a[i][j] != 0 {
-				colOnes[j]++
-				colRow[j] = i
-			}
-		}
-	}
-	for j := n - 1; j >= 0; j-- { // prefer later (slack) columns
-		if colOnes[j] == 1 {
-			i := colRow[j]
-			if basisOf[i] == -1 && a[i][j] == 1 {
-				basisOf[i] = j
-			}
-		}
-	}
-	nart := 0
-	for i := 0; i < m; i++ {
-		if basisOf[i] == -1 {
-			nart++
-		}
-	}
-
-	// Tableau with nart artificial columns appended, then rhs.
-	width := n + nart + 1
-	t := make([][]float64, m)
-	basis := make([]int, m)
-	art := n
-	for i := 0; i < m; i++ {
-		t[i] = make([]float64, width)
-		copy(t[i], a[i])
-		t[i][width-1] = b[i]
-		if basisOf[i] >= 0 {
-			basis[i] = basisOf[i]
-		} else {
-			t[i][art] = 1
-			basis[i] = art
-			art++
-		}
-	}
-	ncols := n + nart
-
-	// Phase 1: minimize the sum of artificials (skipped when none exist).
-	artificial := func(j int) bool { return j >= n }
-	if nart > 0 {
-		z := make([]float64, width)
-		for i := 0; i < m; i++ {
-			if !artificial(basis[i]) {
-				continue
-			}
-			for j := 0; j < width; j++ {
-				z[j] -= t[i][j]
-			}
-		}
-		// Basic columns must have zero reduced cost.
-		for i := 0; i < m; i++ {
-			z[basis[i]] = 0
-		}
-		if st := iterate(t, z, basis, ncols, nil); st != Optimal {
-			return nil, st
-		}
-		if -z[width-1] > 1e-7 {
-			return nil, Infeasible
-		}
-		// Drive remaining artificials out of the basis where possible.
-		for i := 0; i < m; i++ {
-			if !artificial(basis[i]) {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				if math.Abs(t[i][j]) > 1e-7 {
-					pivot(t, z, basis, i, j)
-					break
-				}
-			}
-			// If no pivot exists the row is redundant; the artificial stays
-			// basic at value 0 and is excluded from phase-2 pricing.
-		}
-	}
-
-	// Phase 2: rebuild reduced costs for the real objective.
-	z2 := make([]float64, width)
-	copy(z2, cost)
-	for i := 0; i < m; i++ {
-		j := basis[i]
-		if artificial(j) {
-			continue
-		}
-		cj := z2[j]
-		if cj == 0 {
-			continue
-		}
-		for k := 0; k < width; k++ {
-			z2[k] -= cj * t[i][k]
-		}
-	}
-	var blocked []bool
-	if nart > 0 {
-		blocked = make([]bool, ncols)
-		for j := n; j < ncols; j++ {
-			blocked[j] = true
-		}
-	}
-	if st := iterate(t, z2, basis, ncols, blocked); st != Optimal {
-		return nil, st
-	}
-
-	y := make([]float64, n)
-	for i, j := range basis {
-		if j < n {
-			y[j] = t[i][width-1]
-		}
-	}
-	return y, Optimal
-}
-
-// iterate runs primal simplex pivots on the tableau until optimality,
-// unboundedness, or the iteration cap. blocked marks columns that must not
-// enter the basis (nil means none).
-func iterate(t [][]float64, z []float64, basis []int, ncols int, blocked []bool) Status {
-	m := len(t)
-	for iter := 0; iter < iterCap; iter++ {
-		bland := iter > blandTrip
-		// Entering column.
-		enter := -1
-		best := -eps
-		for j := 0; j < ncols; j++ {
-			if blocked != nil && blocked[j] {
-				continue
-			}
-			if z[j] < best {
-				if bland {
-					enter = j
-					break
-				}
-				best = z[j]
-				enter = j
-			}
-		}
-		if enter == -1 {
-			return Optimal
-		}
-		// Ratio test; ties broken toward the smallest basis index (Bland).
-		leave := -1
-		bestRatio := math.Inf(1)
-		for i := 0; i < m; i++ {
-			if t[i][enter] > eps {
-				ratio := t[i][ncols] / t[i][enter]
-				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave == -1 || basis[i] < basis[leave])) {
-					bestRatio = ratio
-					leave = i
-				}
-			}
-		}
-		if leave == -1 {
-			return Unbounded
-		}
-		pivot(t, z, basis, leave, enter)
-	}
-	return IterLimit
-}
-
-// pivot performs a Gauss-Jordan pivot on tableau row r, column c.
-func pivot(t [][]float64, z []float64, basis []int, r, c int) {
-	pr := t[r]
-	inv := 1 / pr[c]
-	for j := range pr {
-		pr[j] *= inv
-	}
-	pr[c] = 1 // avoid roundoff drift on the pivot itself
-	for i := range t {
-		if i == r {
-			continue
-		}
-		f := t[i][c]
-		if f == 0 {
-			continue
-		}
-		ti := t[i]
-		for j := range ti {
-			ti[j] -= f * pr[j]
-		}
-		ti[c] = 0
-	}
-	f := z[c]
-	if f != 0 {
-		for j := range z {
-			z[j] -= f * pr[j]
-		}
-		z[c] = 0
-	}
-	basis[r] = c
+	return out
 }
 
 // Minimize is a convenience wrapper that returns X and objective for an

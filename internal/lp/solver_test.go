@@ -1,0 +1,251 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a random bounded-feasible LP: a box around the
+// origin, extra random halfspaces feasible at the origin, a random
+// objective, and a mix of bound classes.
+func randomProblem(rng *rand.Rand) (*Problem, []float64) {
+	n := 2 + rng.Intn(4)
+	p := NewProblem(n)
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = rng.NormFloat64()
+	}
+	p.SetObjective(c)
+	for j := 0; j < n; j++ {
+		switch rng.Intn(4) {
+		case 0: // free
+		case 1:
+			p.SetBounds(j, -1-rng.Float64()*4, math.Inf(1))
+		case 2:
+			p.SetBounds(j, math.Inf(-1), 1+rng.Float64()*4)
+		default:
+			lo := -1 - rng.Float64()*4
+			p.SetBounds(j, lo, lo+1+rng.Float64()*6)
+		}
+	}
+	// Box rows keep the problem bounded regardless of variable bounds.
+	B := 2.0 + rng.Float64()*6
+	var rhs []float64
+	for j := 0; j < n; j++ {
+		e := make([]float64, n)
+		e[j] = 1
+		p.AddConstraint(e, LE, B)
+		rhs = append(rhs, B)
+		e2 := make([]float64, n)
+		e2[j] = -1
+		p.AddConstraint(e2, LE, B)
+		rhs = append(rhs, B)
+	}
+	extra := 1 + rng.Intn(5)
+	for i := 0; i < extra; i++ {
+		a := make([]float64, n)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+		b := 0.2 + rng.Float64()*3
+		sense := LE
+		if rng.Intn(3) == 0 {
+			sense = GE
+			b = -b
+		}
+		p.AddConstraint(a, sense, b)
+		rhs = append(rhs, b)
+	}
+	return p, rhs
+}
+
+// checkAgainstColdSolve compares a Solver solution against a from-scratch
+// Problem.Solve of an equivalent problem: status must match, objectives
+// agree within 1e-7, and the reported X must be feasible.
+func checkAgainstColdSolve(t *testing.T, trial, step int, q *Problem, got *Solution) {
+	t.Helper()
+	want := q.Solve()
+	if got.Status != want.Status {
+		t.Fatalf("trial %d step %d: status %v, cold solve says %v", trial, step, got.Status, want.Status)
+	}
+	if got.Status != Optimal {
+		return
+	}
+	if d := math.Abs(got.Objective - want.Objective); d > 1e-7*(1+math.Abs(want.Objective)) {
+		t.Fatalf("trial %d step %d: objective %v vs cold %v (Δ=%g)", trial, step, got.Objective, want.Objective, d)
+	}
+	for i := 0; i < q.NumRows(); i++ {
+		r := q.rows[i]
+		s := 0.0
+		for j, a := range r.coeffs {
+			s += a * got.X[j]
+		}
+		switch r.sense {
+		case LE:
+			if s > r.rhs+1e-6 {
+				t.Fatalf("trial %d step %d: row %d violated: %v > %v", trial, step, i, s, r.rhs)
+			}
+		case GE:
+			if s < r.rhs-1e-6 {
+				t.Fatalf("trial %d step %d: row %d violated: %v < %v", trial, step, i, s, r.rhs)
+			}
+		case EQ:
+			if math.Abs(s-r.rhs) > 1e-6 {
+				t.Fatalf("trial %d step %d: row %d violated: %v != %v", trial, step, i, s, r.rhs)
+			}
+		}
+	}
+	for j := 0; j < q.NumVars(); j++ {
+		lo, hi := q.Bounds(j)
+		if got.X[j] < lo-1e-6 || got.X[j] > hi+1e-6 {
+			t.Fatalf("trial %d step %d: x[%d]=%v outside [%v,%v]", trial, step, j, got.X[j], lo, hi)
+		}
+	}
+}
+
+// TestSolverWarmEquivalence drives one compiled Solver through sequences
+// of randomized right-hand-side changes — the RMPC resolve pattern — and
+// checks every warm resolve against an independent from-scratch solve.
+func TestSolverWarmEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		p, rhs0 := randomProblem(rng)
+		s := NewSolver(p)
+		rhs := append([]float64(nil), rhs0...)
+		for step := 0; step < 8; step++ {
+			// Perturb the right-hand sides; occasionally push a row hard
+			// negative so infeasible instances are exercised too.
+			for i := range rhs {
+				rhs[i] = rhs0[i] + rng.NormFloat64()*0.5
+				if rng.Intn(40) == 0 {
+					rhs[i] -= 20
+				}
+			}
+			got := s.SolveRHS(rhs)
+
+			q := p.Clone()
+			for i, b := range rhs {
+				q.rows[i].rhs = b
+			}
+			checkAgainstColdSolve(t, trial, step, q, got)
+		}
+	}
+}
+
+// TestSolverParamBoundsEquivalence exercises the branch-and-bound reuse
+// pattern: one compiled Solver resolved under tightened variable bounds,
+// compared against a fresh problem with the same bounds.
+func TestSolverParamBoundsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 120; trial++ {
+		p, _ := randomProblem(rng)
+		n := p.NumVars()
+		s := NewSolver(p)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		for step := 0; step < 6; step++ {
+			for j := 0; j < n; j++ {
+				lo[j], hi[j] = p.Bounds(j)
+				// Tighten within the same boundedness class.
+				if !math.IsInf(lo[j], -1) {
+					lo[j] += rng.Float64()
+				}
+				if !math.IsInf(hi[j], 1) {
+					hi[j] -= rng.Float64()
+				}
+				if lo[j] > hi[j] {
+					lo[j], hi[j] = hi[j], lo[j]
+				}
+			}
+			got, ok := s.SolveParams(nil, lo, hi)
+			if !ok {
+				t.Fatalf("trial %d step %d: bounds class unexpectedly changed", trial, step)
+			}
+
+			q := p.Clone()
+			for j := 0; j < n; j++ {
+				q.SetBounds(j, lo[j], hi[j])
+			}
+			checkAgainstColdSolve(t, trial, step, q, got)
+		}
+		// A class change must be refused, not mis-solved.
+		for j := 0; j < n; j++ {
+			l, h := p.Bounds(j)
+			if math.IsInf(l, -1) {
+				lo2 := make([]float64, n)
+				hi2 := make([]float64, n)
+				for k := 0; k < n; k++ {
+					lo2[k], hi2[k] = p.Bounds(k)
+				}
+				lo2[j] = 0
+				if _, ok := s.SolveParams(nil, lo2, hi2); ok {
+					t.Fatalf("trial %d: class change (var %d lower %v→0, hi %v) accepted", trial, j, l, h)
+				}
+				break
+			}
+		}
+	}
+}
+
+// TestSolverMatchesProblemSolve pins the thin-wrapper contract: a one-shot
+// Solver solve and Problem.Solve agree exactly on fresh problems.
+func TestSolverMatchesProblemSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		p, _ := randomProblem(rng)
+		a := p.Solve()
+		b := NewSolver(p).Solve()
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, a.Status, b.Status)
+		}
+		if a.Status == Optimal && a.Objective != b.Objective {
+			t.Fatalf("trial %d: objective %v vs %v (must be identical arithmetic)", trial, a.Objective, b.Objective)
+		}
+	}
+}
+
+// TestSolverEqualityRowsFallBackCold verifies that programs with equality
+// rows (no warm path) still resolve correctly through the solver.
+func TestSolverEqualityRowsFallBackCold(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1})
+	p.SetBounds(0, 0, math.Inf(1))
+	p.SetBounds(1, 0, math.Inf(1))
+	p.AddConstraint([]float64{1, 2}, EQ, 3)
+	s := NewSolver(p)
+	for step := 0; step < 4; step++ {
+		b := 3.0 + float64(step)
+		sol := s.SolveRHS([]float64{b})
+		if sol.Status != Optimal {
+			t.Fatalf("step %d: status %v", step, sol.Status)
+		}
+		if want := b / 2; math.Abs(sol.Objective-want) > 1e-9 {
+			t.Fatalf("step %d: objective %v, want %v", step, sol.Objective, want)
+		}
+	}
+}
+
+// TestSolverReusedXBuffer documents the Solution ownership contract: the X
+// slice is reused across solves on the same Solver.
+func TestSolverReusedXBuffer(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{1}, GE, 1)
+	s := NewSolver(p)
+	first := s.SolveRHS([]float64{1})
+	x1 := first.X[0]
+	second := s.SolveRHS([]float64{5})
+	if &first.X[0] != &second.X[0] {
+		t.Fatal("expected the Solver to reuse its X buffer")
+	}
+	if x1 != 1 || second.X[0] != 5 {
+		t.Fatalf("solutions wrong: %v then %v", x1, second.X[0])
+	}
+	// Problem.Solve, by contrast, returns an owned copy.
+	a := p.Solve()
+	b := p.Solve()
+	if &a.X[0] == &b.X[0] {
+		t.Fatal("Problem.Solve must return an owned X")
+	}
+}

@@ -73,11 +73,28 @@ func (s *System) NU() int { return s.B.C }
 
 // Step returns A·x + B·u + c + w. A nil w is treated as zero.
 func (s *System) Step(x, u, w mat.Vec) mat.Vec {
-	next := s.A.MulVec(x).Add(s.B.MulVec(u)).Add(s.C)
-	if w != nil {
-		next = next.Add(w)
-	}
+	next := make(mat.Vec, s.NX())
+	s.StepInto(next, x, u, w)
 	return next
+}
+
+// StepInto writes A·x + B·u + c + w into dst without allocating — the
+// Algorithm-1 skip path calls this every step. dst must have length NX and
+// must not alias x. A nil w is treated as zero.
+func (s *System) StepInto(dst, x, u, w mat.Vec) {
+	s.A.MulVecInto(dst, x)
+	nu := s.NU()
+	for i := range dst {
+		acc := dst[i] + s.C[i]
+		row := s.B.Data[i*nu : (i+1)*nu]
+		for j, b := range row {
+			acc += b * u[j]
+		}
+		if w != nil {
+			acc += w[i]
+		}
+		dst[i] = acc
+	}
 }
 
 // ClosedLoop returns the autonomous affine dynamics (Acl, ccl) obtained by

@@ -67,6 +67,10 @@ func (m *Mat) Row(i int) Vec {
 	return out
 }
 
+// RowView returns row i as a Vec aliasing the matrix storage — no copy.
+// Mutating the view mutates the matrix; use Row for an owned copy.
+func (m *Mat) RowView(i int) Vec { return Vec(m.Data[i*m.C : (i+1)*m.C]) }
+
 // Col returns a copy of column j as a Vec.
 func (m *Mat) Col(j int) Vec {
 	out := make(Vec, m.R)
@@ -158,6 +162,25 @@ func (m *Mat) MulVec(v Vec) Vec {
 		out[i] = s
 	}
 	return out
+}
+
+// MulVecInto writes the matrix-vector product m·v into dst without
+// allocating. dst must have length m.R and must not alias v.
+func (m *Mat) MulVecInto(dst, v Vec) {
+	if m.C != len(v) {
+		panic(fmt.Sprintf("mat: MulVecInto: %d columns vs vector length %d", m.C, len(v)))
+	}
+	if len(dst) != m.R {
+		panic(fmt.Sprintf("mat: MulVecInto: dst length %d, want %d rows", len(dst), m.R))
+	}
+	for i := 0; i < m.R; i++ {
+		s := 0.0
+		row := m.Data[i*m.C : (i+1)*m.C]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		dst[i] = s
+	}
 }
 
 // Pow returns m^k for k ≥ 0 (m must be square); Pow(m, 0) is the identity.

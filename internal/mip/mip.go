@@ -122,20 +122,53 @@ func (p *Problem) Solve(opts Options) *Solution {
 		gap = 1e-9
 	}
 
-	// Node-level branching bounds are applied as extra constraint rows so
-	// they always tighten (never replace) the base problem's own bounds.
+	// Every node shares one compiled solver: branching bounds are applied
+	// as parametric variable bounds (intersected with the base bounds, so
+	// they always tighten), which warm-starts each node LP from the last
+	// solved basis instead of recompiling the clone from scratch.
+	nvars := p.base.NumVars()
+	solver := lp.NewSolver(p.base)
+	baseLo := make([]float64, nvars)
+	baseHi := make([]float64, nvars)
+	for i := 0; i < nvars; i++ {
+		baseLo[i], baseHi[i] = p.base.Bounds(i)
+	}
+	lo := make([]float64, nvars)
+	hi := make([]float64, nvars)
 	solveNode := func(n *node) *lp.Solution {
-		q := p.base.Clone()
-		nvars := p.base.NumVars()
-		for i, lo := range n.lo {
-			row := make([]float64, nvars)
-			row[i] = 1
-			q.AddConstraint(row, lp.GE, lo)
+		copy(lo, baseLo)
+		copy(hi, baseHi)
+		for i, v := range n.lo {
+			if v > lo[i] {
+				lo[i] = v
+			}
 		}
-		for i, hi := range n.hi {
+		for i, v := range n.hi {
+			if v < hi[i] {
+				hi[i] = v
+			}
+		}
+		if sol, ok := solver.SolveParams(nil, lo, hi); ok {
+			// The solver owns sol.X; nodes outlive the next solve.
+			out := &lp.Solution{Status: sol.Status, Objective: sol.Objective}
+			if sol.Status == lp.Optimal {
+				out.X = append([]float64(nil), sol.X...)
+			}
+			return out
+		}
+		// Branching changed a variable's boundedness class (a previously
+		// unbounded integer picked up its first finite bound): fall back
+		// to the historical clone-plus-rows path for this node.
+		q := p.base.Clone()
+		for i, v := range n.lo {
 			row := make([]float64, nvars)
 			row[i] = 1
-			q.AddConstraint(row, lp.LE, hi)
+			q.AddConstraint(row, lp.GE, v)
+		}
+		for i, v := range n.hi {
+			row := make([]float64, nvars)
+			row[i] = 1
+			q.AddConstraint(row, lp.LE, v)
 		}
 		return q.Solve()
 	}

@@ -122,7 +122,8 @@ func (p *Polytope) Violation(x mat.Vec) float64 {
 func (p *Polytope) feasibilityLP() *lp.Problem {
 	prob := lp.NewProblem(p.Dim())
 	for i := 0; i < p.A.R; i++ {
-		prob.AddConstraint(p.A.Row(i), lp.LE, p.B[i])
+		// AddConstraint copies, so the no-copy row view is safe here.
+		prob.AddConstraint(p.A.RowView(i), lp.LE, p.B[i])
 	}
 	return prob
 }
