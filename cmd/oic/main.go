@@ -14,10 +14,18 @@
 //
 // Every experiment is seeded and deterministic for a fixed -seed and
 // -workers-independent. Use -csv to additionally emit raw per-case data.
-// Flags may appear before or after the subcommand.
+// With -json, each command emits one machine-readable JSON document per
+// result (the pkg/oic report wire types) on stdout — banners and timing
+// move to stderr — so CI and dashboards consume structured output instead
+// of scraping text. Flags may appear before or after the subcommand.
+//
+// The CLI is a client of the public pkg/oic facade: the engines it builds
+// (compiled safety sets, parametric LP, trained policy) are the same ones
+// the oicd server caches and serves.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +35,7 @@ import (
 	"oic/internal/exp"
 	"oic/internal/plant"
 	"oic/internal/reach"
+	"oic/pkg/oic"
 
 	// Register the case studies.
 	_ "oic/internal/acc"
@@ -43,6 +52,7 @@ func main() {
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS; capped process-wide at GOMAXPROCS)")
 	csv := fs.String("csv", "", "directory to write raw CSV data into")
 	plantName := fs.String("plant", "acc", "plant to evaluate (see 'oic plants')")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON results on stdout (banners go to stderr)")
 
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|all [flags]\n\n")
@@ -68,7 +78,26 @@ func main() {
 		}
 	}
 
+	// emit prints a result: one JSON document in -json mode, the rendered
+	// text report otherwise.
+	emit := func(doc any, text string) error {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			return enc.Encode(doc)
+		}
+		fmt.Print(text)
+		return nil
+	}
+
 	if cmd == "plants" {
+		if *jsonOut {
+			// Same shape as oicd's GET /v1/plants, so one consumer parses both.
+			if err := emit(map[string]any{"plants": oic.Plants()}, ""); err != nil {
+				fmt.Fprintf(os.Stderr, "oic: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		listPlants()
 		return
 	}
@@ -85,14 +114,20 @@ func main() {
 		KeepPerCase: *csv != "",
 	}
 
+	// Banners and completion lines go to stderr in -json mode so stdout
+	// stays a clean JSON stream.
+	banner := os.Stdout
+	if *jsonOut {
+		banner = os.Stderr
+	}
 	run := func(name string, f func() error) {
 		t0 := time.Now()
-		fmt.Printf("== %s [%s] ==\n", name, p.Name())
+		fmt.Fprintf(banner, "== %s [%s] ==\n", name, p.Name())
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "oic: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(banner, "(%s completed in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 
 	writeCSV := func(name, content string) error {
@@ -110,7 +145,9 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Print(exp.RenderFig4(r))
+		if err := emit(exp.JSONFig4(r), exp.RenderFig4(r)); err != nil {
+			return err
+		}
 		return writeCSV("fig4.csv", exp.CSVFig4(r))
 	}
 	ladder := func(i int) (plant.Ladder, error) {
@@ -130,10 +167,14 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Print(exp.RenderSeries(r))
+			if err := emit(exp.JSONSeries(r), exp.RenderSeries(r)); err != nil {
+				return err
+			}
 			if withTable {
-				fmt.Println()
-				fmt.Print(exp.RenderTable1(exp.Table1FromSeries(r)))
+				rows := exp.Table1FromSeries(r)
+				if err := emit(exp.JSONTable1(p.Name(), rows), "\n"+exp.RenderTable1(rows)); err != nil {
+					return err
+				}
 			}
 			return writeCSV(csvName, exp.CSVSeries(r))
 		}
@@ -143,67 +184,94 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Print(exp.RenderTable1(rows))
-		return nil
+		return emit(exp.JSONTable1(p.Name(), rows), exp.RenderTable1(rows))
 	}
 	doTiming := func() error {
 		r, err := exp.Timing(p, opt)
 		if err != nil {
 			return err
 		}
-		fmt.Print(exp.RenderTiming(r))
-		return nil
+		return emit(exp.JSONTiming(r), exp.RenderTiming(r))
+	}
+
+	// headlineEngine builds the facade engine the set inspections read
+	// from — the same artifact set oicd would cache for this plant.
+	headlineEngine := func() (*oic.Engine, error) {
+		return oic.NewEngine(oic.Config{Plant: p.Name(), Policy: oic.PolicyBangBang})
 	}
 	doSets := func() error {
-		inst, err := p.Instantiate(p.Headline())
+		eng, err := headlineEngine()
 		if err != nil {
 			return err
 		}
-		sets := inst.Sets()
+		sets := eng.SafetySets()
+		type setDoc struct {
+			Name       string    `json:"name"`
+			Halfspaces int       `json:"halfspaces"`
+			Lo         []float64 `json:"lo,omitempty"`
+			Hi         []float64 `json:"hi,omitempty"`
+		}
+		var docs []setDoc
+		var b strings.Builder
 		printSet := func(name string, rows int, loHi func() ([]float64, []float64, error)) {
 			lo, hi, err := loHi()
 			if err != nil {
-				fmt.Printf("%-3s: error: %v\n", name, err)
+				fmt.Fprintf(&b, "%-3s: error: %v\n", name, err)
+				docs = append(docs, setDoc{Name: name, Halfspaces: rows})
 				return
 			}
 			var dims []string
 			for d := range lo {
 				dims = append(dims, fmt.Sprintf("x%d∈[%.2f, %.2f]", d, lo[d], hi[d]))
 			}
-			fmt.Printf("%-3s: %2d halfspaces, bounding box %s\n", name, rows, strings.Join(dims, ", "))
+			fmt.Fprintf(&b, "%-3s: %2d halfspaces, bounding box %s\n", name, rows, strings.Join(dims, ", "))
+			docs = append(docs, setDoc{Name: name, Halfspaces: rows, Lo: lo, Hi: hi})
 		}
-		fmt.Printf("safety sets of plant %q (Fig. 1: X' ⊆ XI ⊆ X):\n", p.Name())
+		fmt.Fprintf(&b, "safety sets of plant %q (Fig. 1: X' ⊆ XI ⊆ X):\n", p.Name())
 		printSet("X", sets.X.NumRows(), sets.X.BoundingBox)
 		printSet("XI", sets.XI.NumRows(), sets.XI.BoundingBox)
 		printSet("X'", sets.XPrime.NumRows(), sets.XPrime.BoundingBox)
 		ok1, _ := sets.XI.Covers(sets.XPrime, 1e-6)
 		ok2, _ := sets.X.Covers(sets.XI, 1e-6)
-		fmt.Printf("nesting verified: X' ⊆ XI: %v, XI ⊆ X: %v\n", ok1, ok2)
+		fmt.Fprintf(&b, "nesting verified: X' ⊆ XI: %v, XI ⊆ X: %v\n", ok1, ok2)
 		if a, err := sets.XPrime.Volume2D(); err == nil {
-			if b, err := sets.XI.Volume2D(); err == nil && b > 0 {
-				fmt.Printf("area: X' %.1f, XI %.1f (skipping admissible on %.1f%% of XI)\n", a, b, 100*a/b)
+			if bb, err := sets.XI.Volume2D(); err == nil && bb > 0 {
+				fmt.Fprintf(&b, "area: X' %.1f, XI %.1f (skipping admissible on %.1f%% of XI)\n", a, bb, 100*a/bb)
 			}
 		}
-		return nil
+		return emit(map[string]any{
+			"kind": "sets", "plant": p.Name(), "sets": docs,
+			"nested": ok1 && ok2,
+		}, b.String())
 	}
 	doBudget := func() error {
-		inst, err := p.Instantiate(p.Headline())
+		eng, err := headlineEngine()
 		if err != nil {
 			return err
 		}
-		chain, err := reach.ConsecutiveSkipSets(inst.Sets().XI, inst.System(), 8)
+		chain, err := reach.ConsecutiveSkipSets(eng.SafetySets().XI, eng.System(), 8)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("multi-step strengthened sets S_k of plant %q (k consecutive skips certified):\n", p.Name())
+		type skipDoc struct {
+			K          int     `json:"k"`
+			Halfspaces int     `json:"halfspaces"`
+			Area       float64 `json:"area,omitempty"`
+		}
+		var docs []skipDoc
+		var b strings.Builder
+		fmt.Fprintf(&b, "multi-step strengthened sets S_k of plant %q (k consecutive skips certified):\n", p.Name())
 		for k, s := range chain {
 			line := fmt.Sprintf("  S%-2d %2d halfspaces", k+1, s.NumRows())
+			doc := skipDoc{K: k + 1, Halfspaces: s.NumRows()}
 			if area, err := s.Volume2D(); err == nil {
 				line += fmt.Sprintf(", area %8.1f", area)
+				doc.Area = area
 			}
-			fmt.Println(line)
+			fmt.Fprintln(&b, line)
+			docs = append(docs, doc)
 		}
-		return nil
+		return emit(map[string]any{"kind": "budget", "plant": p.Name(), "sets": docs}, b.String())
 	}
 
 	switch cmd {
@@ -239,15 +307,11 @@ func main() {
 
 func listPlants() {
 	fmt.Println("registered plants:")
-	for _, name := range plant.Names() {
-		p, err := plant.Get(name)
-		if err != nil {
-			continue
-		}
-		fmt.Printf("  %-8s %s\n", name, p.Description())
+	for _, info := range oic.Plants() {
+		fmt.Printf("  %-8s %s\n", info.Name, info.Description)
 		fmt.Printf("  %-8s headline %s; cost metric %q; %d steps/episode\n",
-			"", p.Headline().ID, p.CostLabel(), p.EpisodeSteps())
-		for _, l := range p.Ladders() {
+			"", info.Headline.ID, info.CostLabel, info.EpisodeSteps)
+		for _, l := range info.Ladders {
 			ids := make([]string, len(l.Scenarios))
 			for i, sc := range l.Scenarios {
 				ids[i] = sc.ID

@@ -1,0 +1,71 @@
+// Command oicd is the opportunistic intermittent-control session server: a
+// long-running HTTP/JSON service over the pkg/oic facade. Clients open
+// control sessions against any registered plant and stream measured states
+// in; the server answers with Algorithm 1's per-step decision (run κ or
+// skip) and the resulting input, sharing each configuration's compiled
+// artifacts (safety sets, parametric LP, trained policy) across every
+// session. See README.md for a curl transcript and DESIGN.md §6 for the
+// architecture.
+//
+// Usage:
+//
+//	oicd [-addr :8080] [-ttl 15m] [-max-sessions 4096]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oic/internal/server"
+
+	// Register the case studies.
+	_ "oic/internal/acc"
+	_ "oic/internal/orbit"
+	_ "oic/internal/thermo"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	ttl := flag.Duration("ttl", 15*time.Minute, "evict sessions idle longer than this")
+	maxSessions := flag.Int("max-sessions", 4096, "maximum live sessions")
+	maxEngines := flag.Int("max-engines", 64, "maximum cached engines (distinct session configurations)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	srv := server.New(server.Config{SessionTTL: *ttl, MaxSessions: *maxSessions, MaxEngines: *maxEngines})
+	srv.StartJanitor()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("oicd: serving on %s (session ttl %v, max %d)", *addr, *ttl, *maxSessions)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("oicd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("oicd: shutting down (grace %v)", *shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("oicd: shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("oicd: bye")
+}

@@ -99,7 +99,7 @@ func (e *DRLEnv) Reset(rng *rand.Rand) (mat.Vec, error) {
 	}
 	e.sess = sess
 	e.t = 0
-	return e.m.Encode(x0s[0], sess.RecentW()), nil
+	return e.m.Encode(x0s[0], sess.RecentWView()), nil
 }
 
 // Step implements rl.Env.
@@ -124,7 +124,7 @@ func (e *DRLEnv) Step(action int) (mat.Vec, float64, bool, error) {
 	reward := -e.w1*r1 - e.w2*r2
 
 	done := e.t >= e.steps
-	return e.m.Encode(rec.Next, e.sess.RecentW()), reward, done, nil
+	return e.m.Encode(rec.Next, e.sess.RecentWView()), reward, done, nil
 }
 
 // TrainConfig tunes DRL training for a scenario.

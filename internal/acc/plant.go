@@ -82,7 +82,7 @@ func scenarioByID(id string) (Scenario, error) {
 			return sc, nil
 		}
 	}
-	return Scenario{}, fmt.Errorf("acc: unknown scenario %q", id)
+	return Scenario{}, fmt.Errorf("acc: %w %q", plant.ErrUnknownScenario, id)
 }
 
 // Instantiate implements plant.Plant.

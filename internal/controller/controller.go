@@ -35,6 +35,17 @@ type SessionController interface {
 	ForSession() Controller
 }
 
+// SessionResetter is implemented by session handles whose mutable solve
+// workspace can be returned to its post-construction (cold) state without
+// reallocating. Resetting is what makes handles poolable: a reused handle's
+// solve chain is indistinguishable from a freshly forked one's, so session
+// pools (pkg/oic) recycle the expensive workspace buffers while preserving
+// per-session determinism. core.Session.Reset calls it automatically.
+type SessionResetter interface {
+	Controller
+	ResetSession()
+}
+
 // AffineFeedback is u = K·(x − XRef) + URef, the analytic controller class
 // for which the paper's model-based skipping approach applies.
 type AffineFeedback struct {

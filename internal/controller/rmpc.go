@@ -323,6 +323,11 @@ func (r *RMPC) ForSession() Controller {
 	return &cp
 }
 
+// ResetSession implements SessionResetter: it returns this handle's
+// warm-start workspace to its cold state (keeping the allocated tableau),
+// so a pooled handle behaves byte-identically to a fresh ForSession fork.
+func (r *RMPC) ResetSession() { r.ws.sv.ResetWarm() }
+
 // computeTerminalSet returns the maximal robust invariant subset of X(N)
 // where the local affine feedback u = gain·(x−XRef) + URef is admissible:
 // the standard choice satisfying the stability premise of Proposition 1.

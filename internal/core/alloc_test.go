@@ -55,6 +55,40 @@ func TestMonitorLevelZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSessionViewReadsZeroAllocs pins the snapshot-vs-view split: the view
+// accessors the serving hot path and the DRL encoders use must not clone,
+// while the snapshot accessors return owned copies.
+func TestSessionViewReadsZeroAllocs(t *testing.T) {
+	sys, fb, sets := testRig(t)
+	f, err := NewFramework(sys, fb, sets, BangBang{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.NewSession(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = sess.StateView()
+		_ = sess.RecentWView()
+	})
+	if allocs != 0 {
+		t.Errorf("view reads allocate %v times per call, want 0", allocs)
+	}
+
+	// Snapshots are owned: mutating them must not touch the live session.
+	snap := sess.State()
+	snap[0] = 99
+	if sess.StateView()[0] == 99 {
+		t.Error("State snapshot aliases the live buffer")
+	}
+	wsnap := sess.RecentW()
+	wsnap[0][0] = 99
+	if sess.RecentWView()[0][0] == 99 {
+		t.Error("RecentW snapshot aliases the live ring")
+	}
+}
+
 // TestRecordingToggle documents the SetRecording contract: scalar history
 // is kept either way, per-step records only while recording.
 func TestRecordingToggle(t *testing.T) {
@@ -76,8 +110,10 @@ func TestRecordingToggle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.X != nil || rec.U != nil || rec.Next != nil {
-		t.Error("non-recording step should not carry vector snapshots")
+	// Non-recording records carry views of the session buffers, not owned
+	// clones: the successor view must alias the live state.
+	if &rec.Next[0] != &sess.StateView()[0] {
+		t.Error("non-recording step should carry buffer views (Next aliasing the live state)")
 	}
 	if rec.T != 1 {
 		t.Errorf("rec.T = %d, want 1", rec.T)

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -26,6 +27,21 @@ import (
 	"oic/internal/mat"
 	"oic/internal/poly"
 	"oic/internal/reach"
+)
+
+// Sentinel errors of the runtime, all errors.Is-able through wrapping.
+var (
+	// ErrUnsafe reports a state outside the safe set required for the
+	// requested operation — e.g. an initial state outside XI, where
+	// Algorithm 1's precondition (line 2) does not hold.
+	ErrUnsafe = errors.New("core: state outside safe set")
+
+	// ErrSessionClosed is returned by Session.Step after the session was
+	// closed, either explicitly (Close) or by a terminal failure (a κ
+	// error). A closed session's state and counters remain readable; only
+	// stepping is refused, so reuse after failure is well-defined instead
+	// of undefined behavior.
+	ErrSessionClosed = errors.New("core: session closed")
 )
 
 // SafetySets bundles the three nested sets of the paper (Fig. 1):
@@ -250,14 +266,18 @@ type Session struct {
 	t      int
 	wHist  []mat.Vec // ring of owned buffers, most recent last
 	record bool
+	closed bool
 	Result *Result
 }
 
 // NewSession starts a run at x0, which must lie inside XI (Algorithm 1,
 // line 2).
 func (f *Framework) NewSession(x0 mat.Vec) (*Session, error) {
+	if len(x0) != f.Sys.NX() {
+		return nil, fmt.Errorf("core: NewSession: initial state has dim %d, want %d", len(x0), f.Sys.NX())
+	}
 	if !f.Sets.XI.Contains(x0, 1e-9) {
-		return nil, fmt.Errorf("core: NewSession: initial state %v outside XI", x0)
+		return nil, fmt.Errorf("core: NewSession: initial state %v outside XI: %w", x0, ErrUnsafe)
 	}
 	kappa := f.Kappa
 	if sc, ok := kappa.(controller.SessionController); ok {
@@ -281,18 +301,36 @@ func (f *Framework) NewSession(x0 mat.Vec) (*Session, error) {
 
 // SetRecording toggles per-step record retention (on by default). With
 // recording off the session keeps only the aggregate Result counters, the
-// returned StepRecords carry scalar fields but nil vectors, and the skip
-// path allocates nothing — the mode the embedded-runtime benchmarks and
-// alloc regression tests measure.
+// returned StepRecords carry *views* of the session buffers (valid until
+// the next Step) instead of owned clones, and the skip path allocates
+// nothing — the mode the embedded-runtime benchmarks, the alloc regression
+// tests, and long-running serving sessions use (records would otherwise
+// grow without bound).
 func (s *Session) SetRecording(on bool) { s.record = on }
 
-// State returns the current state.
+// State returns an owned snapshot of the current state.
 func (s *Session) State() mat.Vec { return s.x.Clone() }
+
+// StateView returns the current state as a view into the session's own
+// buffer: valid only until the next Step or Reset, and never to be
+// mutated. It is the allocation-free read the serving hot path uses;
+// callers that retain the value take State instead.
+func (s *Session) StateView() mat.Vec { return s.x }
 
 // Time returns the number of completed steps.
 func (s *Session) Time() int { return s.t }
 
-// RecentW returns the last WMemory observed disturbances, most recent last.
+// Closed reports whether the session has terminated (explicit Close or a
+// terminal κ failure); further Steps return ErrSessionClosed.
+func (s *Session) Closed() bool { return s.closed }
+
+// Close marks the session terminated. State, counters, and records remain
+// readable; stepping afterwards returns ErrSessionClosed. Close is
+// idempotent.
+func (s *Session) Close() { s.closed = true }
+
+// RecentW returns an owned snapshot of the last WMemory observed
+// disturbances, most recent last.
 func (s *Session) RecentW() []mat.Vec {
 	out := make([]mat.Vec, len(s.wHist))
 	for i, w := range s.wHist {
@@ -301,9 +339,58 @@ func (s *Session) RecentW() []mat.Vec {
 	return out
 }
 
+// RecentWView returns the disturbance window (most recent last) as a view
+// into the session's ring buffers: valid only until the next Step or
+// Reset, never to be mutated. The DRL feature encoders and the serving
+// path read it without allocating; callers that retain it take RecentW.
+func (s *Session) RecentWView() []mat.Vec { return s.wHist }
+
+// Reset rebinds the session to a fresh run from x0, reusing every buffer
+// and the per-session controller workspace. A workspace that supports it
+// (controller.SessionResetter — the RMPC does) is returned to its cold
+// state, so a pooled session's solve chain is byte-identical to a newly
+// created session's; otherwise a fresh workspace is forked. Recording is
+// restored to its default (on) and the previous Result is abandoned to its
+// holders.
+func (s *Session) Reset(x0 mat.Vec) error {
+	f := s.f
+	if len(x0) != f.Sys.NX() {
+		return fmt.Errorf("core: Session.Reset: initial state has dim %d, want %d", len(x0), f.Sys.NX())
+	}
+	if !f.Sets.XI.Contains(x0, 1e-9) {
+		return fmt.Errorf("core: Session.Reset: initial state %v outside XI: %w", x0, ErrUnsafe)
+	}
+	if rc, ok := s.kappa.(controller.SessionResetter); ok {
+		rc.ResetSession()
+	} else if sc, ok := f.Kappa.(controller.SessionController); ok {
+		s.kappa = sc.ForSession()
+	}
+	copy(s.x, x0)
+	for _, w := range s.wHist {
+		for i := range w {
+			w[i] = 0
+		}
+	}
+	s.t = 0
+	s.record = true
+	s.closed = false
+	s.Result = &Result{}
+	return nil
+}
+
 // Step executes one iteration of Algorithm 1 under the session policy,
 // realizing the disturbance w, and returns the step record.
 func (s *Session) Step(w mat.Vec) (StepRecord, error) {
+	return s.step(w, nil)
+}
+
+// StepContext is Step with cooperative cancellation: a canceled context is
+// checked before any work and its error returned verbatim, so servers can
+// thread request contexts through long stepping loops.
+func (s *Session) StepContext(ctx context.Context, w mat.Vec) (StepRecord, error) {
+	if err := ctx.Err(); err != nil {
+		return StepRecord{}, err
+	}
 	return s.step(w, nil)
 }
 
@@ -316,6 +403,9 @@ func (s *Session) StepWithChoice(w mat.Vec, run bool) (StepRecord, error) {
 }
 
 func (s *Session) step(w mat.Vec, choice *bool) (StepRecord, error) {
+	if s.closed {
+		return StepRecord{}, ErrSessionClosed
+	}
 	f := s.f
 	res := s.Result
 
@@ -339,6 +429,10 @@ func (s *Session) step(w mat.Vec, choice *bool) (StepRecord, error) {
 		uc, err := s.kappa.Compute(s.x)
 		res.CtrlTime += time.Since(tCtl)
 		if err != nil {
+			// A κ failure is terminal: the session has no admissible input
+			// to apply, so it closes and every further Step reports
+			// ErrSessionClosed instead of undefined behavior on reuse.
+			s.closed = true
 			return StepRecord{}, fmt.Errorf("core: Session.Step: κ failed at %v (level %v): %w", s.x, level, err)
 		}
 		u = uc
@@ -354,6 +448,14 @@ func (s *Session) step(w mat.Vec, choice *bool) (StepRecord, error) {
 		rec.W = w.Clone()
 		rec.Next = s.xNext.Clone()
 		res.Records = append(res.Records, rec)
+	} else {
+		// Allocation-free views, valid only until the next Step: the state
+		// buffers are recycled, u is either the shared zero input or the
+		// controller's per-call output, and w is the caller's own slice.
+		rec.X = s.x
+		rec.U = u
+		rec.W = w
+		rec.Next = s.xNext
 	}
 	res.Energy += u.Norm1()
 	if run {

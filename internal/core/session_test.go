@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"oic/internal/mat"
+)
+
+// TestSessionClosedAfterTerminalFailure pins the terminal-failure contract:
+// a κ error closes the session and every later Step reports the stable
+// sentinel ErrSessionClosed instead of undefined behavior on reuse.
+func TestSessionClosedAfterTerminalFailure(t *testing.T) {
+	sys, _, sets := testRig(t)
+	f, err := NewFramework(sys, failingController{}, sets, AlwaysRun{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.NewSession(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(mat.Vec{0, 0}); err == nil {
+		t.Fatal("controller failure swallowed")
+	}
+	if !sess.Closed() {
+		t.Fatal("session not closed after terminal κ failure")
+	}
+	if _, err := sess.Step(mat.Vec{0, 0}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("step after failure: got %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestSessionCloseAndReset exercises explicit Close and the pooling Reset:
+// Close refuses further steps, Reset reopens with fresh counters, and an
+// out-of-XI reset is refused with the ErrUnsafe sentinel.
+func TestSessionCloseAndReset(t *testing.T) {
+	sys, fb, sets := testRig(t)
+	f, err := NewFramework(sys, fb, sets, BangBang{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.NewSession(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make(mat.Vec, sys.NX())
+	if _, err := sess.Step(w); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	if _, err := sess.Step(w); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("step after Close: got %v, want ErrSessionClosed", err)
+	}
+
+	if err := sess.Reset(mat.Vec{100, 0}); !errors.Is(err, ErrUnsafe) {
+		t.Fatalf("reset outside XI: got %v, want ErrUnsafe", err)
+	}
+	if err := sess.Reset(mat.Vec{0.5, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Closed() || sess.Time() != 0 || sess.Result.Skips != 0 {
+		t.Fatalf("reset session not fresh: closed=%v t=%d skips=%d",
+			sess.Closed(), sess.Time(), sess.Result.Skips)
+	}
+	if got := sess.StateView(); got[0] != 0.5 {
+		t.Fatalf("reset state = %v", got)
+	}
+	if _, err := sess.Step(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewSessionErrUnsafe makes the precondition failure errors.Is-able.
+func TestNewSessionErrUnsafe(t *testing.T) {
+	sys, fb, sets := testRig(t)
+	f, err := NewFramework(sys, fb, sets, BangBang{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.NewSession(mat.Vec{100, 0}); !errors.Is(err, ErrUnsafe) {
+		t.Fatalf("NewSession outside XI: got %v, want ErrUnsafe", err)
+	}
+	if _, err := f.NewSession(mat.Vec{0}); err == nil {
+		t.Fatal("NewSession accepted a wrong-dimension state")
+	}
+}
+
+// TestStepContextCancellation threads a canceled context through Step.
+func TestStepContextCancellation(t *testing.T) {
+	sys, fb, sets := testRig(t)
+	f, err := NewFramework(sys, fb, sets, BangBang{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.NewSession(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make(mat.Vec, sys.NX())
+	if _, err := sess.StepContext(context.Background(), w); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.StepContext(ctx, w); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled step: got %v, want context.Canceled", err)
+	}
+	if sess.Time() != 1 {
+		t.Fatalf("canceled step advanced the session: t=%d", sess.Time())
+	}
+}

@@ -12,18 +12,22 @@
 // memory stays O(workers), not O(cases), and results are independent of
 // the worker count (cases are seeded individually and folded in index
 // order).
+//
+// The harness is a client of the public pkg/oic facade — the same engines
+// (compiled safety sets, parametric LP, trained policy) that oicd serves
+// over HTTP regenerate the paper's figures here, so the served runtime and
+// the published numbers can never drift apart.
 package exp
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"time"
 
-	"oic/internal/core"
 	"oic/internal/plant"
 	"oic/internal/rl"
 	"oic/internal/stats"
+	"oic/pkg/oic"
 )
 
 // Options tunes experiment size. The zero value reproduces the paper's
@@ -109,60 +113,59 @@ func caseSeed(seed int64, i int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// forEachCase evaluates opt.Cases paired episodes on the shared worker
-// pool and folds each Case into visit in index order. The drl policy may
-// be nil to skip the DRL run (its Case fields stay zero).
-func forEachCase(inst plant.Instance, drl core.SkipPolicy, opt Options, visit func(i int, c *Case) error) error {
-	run := func(i int) (Case, error) {
-		rng := rand.New(rand.NewSource(caseSeed(opt.Seed, i)))
-		x0s, err := inst.SampleInitialStates(1, rng)
-		if err != nil {
-			return Case{}, fmt.Errorf("exp: case %d: sampling initial state: %w", i, err)
-		}
-		if len(x0s) == 0 {
-			return Case{}, fmt.Errorf("exp: case %d: sampling initial state: empty sample", i)
-		}
-		x0 := x0s[0]
-		w := inst.Disturbances(rng, opt.Steps)
+// engineFor binds one scenario to a pkg/oic engine with the options'
+// training budget. The same facade the oicd server caches per plant backs
+// every experiment run here.
+func engineFor(p plant.Plant, scenarioID string, opt Options, policy string) (*oic.Engine, error) {
+	return oic.NewEngine(oic.Config{
+		Plant: p.Name(), Scenario: scenarioID, Policy: policy,
+		Train: oic.TrainConfig{Episodes: opt.TrainEpisodes, Steps: opt.Steps, Seed: opt.Seed},
+	})
+}
 
-		var c Case
-		epRM, err := inst.RunEpisode(core.AlwaysRun{}, x0, w)
+// forEachCase evaluates opt.Cases paired episodes against eng on the
+// shared worker pool and folds each Case into visit in index order. With
+// withPolicy the engine's configured skipping policy (the trained DRL
+// agent in the pipeline) runs as the third arm; otherwise its Case fields
+// stay zero.
+func forEachCase(eng *oic.Engine, withPolicy bool, opt Options, visit func(i int, c *Case) error) error {
+	run := func(i int) (Case, error) {
+		x0, w, err := eng.DrawCase(caseSeed(opt.Seed, i), opt.Steps)
 		if err != nil {
 			return Case{}, fmt.Errorf("exp: case %d: %w", i, err)
 		}
-		epBB, err := inst.RunEpisode(core.BangBang{}, x0, w)
+
+		var c Case
+		epRM, err := eng.RunEpisode(oic.PolicyAlwaysRun, x0, w)
+		if err != nil {
+			return Case{}, fmt.Errorf("exp: case %d: %w", i, err)
+		}
+		epBB, err := eng.RunEpisode(oic.PolicyBangBang, x0, w)
 		if err != nil {
 			return Case{}, fmt.Errorf("exp: case %d: %w", i, err)
 		}
 		c.CostRM, c.EnergyRM = epRM.Cost, epRM.Energy
 		c.CostBB, c.EnergyBB = epBB.Cost, epBB.Energy
-		c.SkipsBB = epBB.Result.Skips
-		c.Violations = epRM.Result.ViolationsX + epBB.Result.ViolationsX
-		c.CtrlTimeRM = epRM.Result.CtrlTime
-		c.CtrlCallsRM = epRM.Result.ControllerCalls
-		if drl != nil {
-			epDR, err := inst.RunEpisode(drl, x0, w)
+		c.SkipsBB = epBB.Skips
+		c.Violations = epRM.Violations + epBB.Violations
+		c.CtrlTimeRM = epRM.CtrlTime
+		c.CtrlCallsRM = epRM.ControllerCalls
+		if withPolicy {
+			epDR, err := eng.RunEpisode("", x0, w)
 			if err != nil {
 				return Case{}, fmt.Errorf("exp: case %d: %w", i, err)
 			}
 			c.CostDRL, c.EnergyDRL = epDR.Cost, epDR.Energy
-			c.SkipsDRL = epDR.Result.Skips
-			c.ForcedDRL = epDR.Result.Forced
-			c.Violations += epDR.Result.ViolationsX
-			c.CtrlTimeDRL = epDR.Result.CtrlTime
-			c.OverheadDRL = epDR.Result.OverheadTime
-			c.CtrlCallsDRL = epDR.Result.ControllerCalls
+			c.SkipsDRL = epDR.Skips
+			c.ForcedDRL = epDR.Forced
+			c.Violations += epDR.Violations
+			c.CtrlTimeDRL = epDR.CtrlTime
+			c.OverheadDRL = epDR.OverheadTime
+			c.CtrlCallsDRL = epDR.ControllerCalls
 		}
 		return c, nil
 	}
 	return forEachOrdered(opt.Cases, opt.Workers, run, visit)
-}
-
-// trainFor trains the scenario's skipping policy with the options' budget.
-func trainFor(inst plant.Instance, opt Options) (core.SkipPolicy, rl.TrainStats, error) {
-	return inst.TrainSkipPolicy(plant.TrainConfig{
-		Episodes: opt.TrainEpisodes, Steps: opt.Steps, Seed: opt.Seed,
-	})
 }
 
 // Fig4Result is the savings-distribution experiment (the paper's Figure 4
@@ -194,13 +197,9 @@ type Fig4Result struct {
 func Fig4(p plant.Plant, opt Options) (*Fig4Result, error) {
 	opt = opt.withDefaults(p)
 	sc := p.Headline()
-	inst, err := p.Instantiate(sc)
+	eng, err := engineFor(p, sc.ID, opt, oic.PolicyDRL)
 	if err != nil {
 		return nil, fmt.Errorf("exp: Fig4(%s): %w", p.Name(), err)
-	}
-	policy, train, err := trainFor(inst, opt)
-	if err != nil {
-		return nil, fmt.Errorf("exp: Fig4(%s): training: %w", p.Name(), err)
 	}
 
 	// 10 %-wide bins over the full attainable range: a saving vs. a
@@ -216,9 +215,9 @@ func Fig4(p plant.Plant, opt Options) (*Fig4Result, error) {
 		Opt:       opt,
 		BBHist:    stats.NewHistogram(edges),
 		DRLHist:   stats.NewHistogram(edges),
-		Train:     train,
+		Train:     eng.TrainStats(),
 	}
-	err = forEachCase(inst, policy, opt, func(_ int, c *Case) error {
+	err = forEachCase(eng, true, opt, func(_ int, c *Case) error {
 		sb, sd := c.SavingBB(), c.SavingDRL()
 		if opt.KeepPerCase {
 			res.BBSavings = append(res.BBSavings, sb)
@@ -272,17 +271,13 @@ func Sweep(p plant.Plant, ladder plant.Ladder, opt Options) (*SeriesResult, erro
 	opt = opt.withDefaults(p)
 	res := &SeriesResult{Plant: p.Name(), CostLabel: p.CostLabel(), Ladder: ladder, Opt: opt}
 	for _, sc := range ladder.Scenarios {
-		inst, err := p.Instantiate(sc)
+		eng, err := engineFor(p, sc.ID, opt, oic.PolicyDRL)
 		if err != nil {
 			return nil, fmt.Errorf("exp: scenario %s: %w", sc.ID, err)
 		}
-		policy, _, err := trainFor(inst, opt)
-		if err != nil {
-			return nil, fmt.Errorf("exp: scenario %s: training: %w", sc.ID, err)
-		}
 		pt := SeriesPoint{Scenario: sc}
 		n := 0
-		err = forEachCase(inst, policy, opt, func(_ int, c *Case) error {
+		err = forEachCase(eng, true, opt, func(_ int, c *Case) error {
 			pt.DRLSaving += c.SavingDRL()
 			pt.BBSaving += c.SavingBB()
 			pt.DRLEnergy += c.EnergySavingDRL()
@@ -341,18 +336,14 @@ type TimingResult struct {
 //	saving = (T_κ·n − (T_mon·n + T_κ·(n − skips))) / (T_κ·n).
 func Timing(p plant.Plant, opt Options) (*TimingResult, error) {
 	opt = opt.withDefaults(p)
-	inst, err := p.Instantiate(p.Headline())
+	eng, err := engineFor(p, p.Headline().ID, opt, oic.PolicyDRL)
 	if err != nil {
 		return nil, fmt.Errorf("exp: Timing(%s): %w", p.Name(), err)
-	}
-	policy, _, err := trainFor(inst, opt)
-	if err != nil {
-		return nil, fmt.Errorf("exp: Timing(%s): training: %w", p.Name(), err)
 	}
 	res := &TimingResult{Plant: p.Name(), Opt: opt}
 	var ctrlRM, overheadDRL time.Duration
 	var callsRM, steps, skips int
-	err = forEachCase(inst, policy, opt, func(_ int, c *Case) error {
+	err = forEachCase(eng, true, opt, func(_ int, c *Case) error {
 		ctrlRM += c.CtrlTimeRM
 		callsRM += c.CtrlCallsRM
 		overheadDRL += c.OverheadDRL

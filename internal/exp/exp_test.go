@@ -4,8 +4,8 @@ import (
 	"strings"
 	"testing"
 
-	"oic/internal/core"
 	"oic/internal/plant"
+	"oic/pkg/oic"
 
 	// Register the case studies the tests sweep over.
 	_ "oic/internal/acc"
@@ -28,19 +28,21 @@ func accPlant(t *testing.T) plant.Plant {
 	return p
 }
 
-func headlineInstance(t *testing.T, p plant.Plant) plant.Instance {
+// headlineEngine builds the harness's facade engine for the headline
+// scenario with the given skipping policy as the third experiment arm.
+func headlineEngine(t *testing.T, p plant.Plant, policy string, opt Options) *oic.Engine {
 	t.Helper()
-	inst, err := p.Instantiate(p.Headline())
+	eng, err := engineFor(p, p.Headline().ID, opt, policy)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return inst
+	return eng
 }
 
-func collectCases(t *testing.T, inst plant.Instance, drl core.SkipPolicy, opt Options) []Case {
+func collectCases(t *testing.T, eng *oic.Engine, withPolicy bool, opt Options) []Case {
 	t.Helper()
 	var out []Case
-	err := forEachCase(inst, drl, opt, func(i int, c *Case) error {
+	err := forEachCase(eng, withPolicy, opt, func(i int, c *Case) error {
 		if i != len(out) {
 			t.Fatalf("visit out of order: got index %d, want %d", i, len(out))
 		}
@@ -54,9 +56,9 @@ func collectCases(t *testing.T, inst plant.Instance, drl core.SkipPolicy, opt Op
 }
 
 func TestRunCasesPairedAndSafe(t *testing.T) {
-	inst := headlineInstance(t, accPlant(t))
 	opt := smallOpt()
-	cases := collectCases(t, inst, core.BangBang{}, opt)
+	eng := headlineEngine(t, accPlant(t), oic.PolicyBangBang, opt)
+	cases := collectCases(t, eng, true, opt)
 	if len(cases) != 6 {
 		t.Fatalf("cases = %d", len(cases))
 	}
@@ -74,13 +76,13 @@ func TestRunCasesPairedAndSafe(t *testing.T) {
 }
 
 func TestRunCasesDeterministicAcrossWorkerCounts(t *testing.T) {
-	inst := headlineInstance(t, accPlant(t))
 	opt1 := smallOpt()
 	opt1.Workers = 1
 	opt8 := smallOpt()
 	opt8.Workers = 8
-	a := collectCases(t, inst, nil, opt1)
-	b := collectCases(t, inst, nil, opt8)
+	eng := headlineEngine(t, accPlant(t), oic.PolicyBangBang, opt1)
+	a := collectCases(t, eng, false, opt1)
+	b := collectCases(t, eng, false, opt8)
 	for i := range a {
 		if a[i].CostBB != b[i].CostBB || a[i].SkipsBB != b[i].SkipsBB {
 			t.Fatalf("case %d differs across worker counts", i)

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"oic/internal/stats"
+	"oic/pkg/oic"
+)
+
+// This file converts experiment aggregates into the pkg/oic report wire
+// types, the machine-readable results `oic -json` emits so CI and
+// dashboards consume structured data instead of scraping text reports.
+
+func histJSON(h *stats.Histogram) oic.Histogram {
+	return oic.Histogram{
+		Edges:     append([]float64(nil), h.Edges...),
+		Counts:    append([]int(nil), h.Counts...),
+		Underflow: h.Underflow,
+		Overflow:  h.Overflow,
+	}
+}
+
+// JSONFig4 converts a savings-distribution result to its wire report.
+func JSONFig4(r *Fig4Result) oic.Fig4Report {
+	return oic.Fig4Report{
+		Kind:          "fig4",
+		Plant:         r.Plant,
+		CostLabel:     r.CostLabel,
+		Scenario:      r.Scenario.ID,
+		Cases:         r.Cases,
+		Steps:         r.Opt.Steps,
+		Seed:          r.Opt.Seed,
+		BBHist:        histJSON(r.BBHist),
+		DRLHist:       histJSON(r.DRLHist),
+		BBMeanPct:     r.BBMean,
+		DRLMeanPct:    r.DRLMean,
+		BBEnergyPct:   r.BBEnergy,
+		DRLEnergyPct:  r.DRLEnergy,
+		SkipsPer100:   r.SkipsDRL,
+		Violations:    r.Violations,
+		TrainEpisodes: r.Train.Episodes,
+	}
+}
+
+// JSONSeries converts a ladder sweep to its wire report.
+func JSONSeries(r *SeriesResult) oic.SeriesReport {
+	out := oic.SeriesReport{
+		Kind:      "series",
+		Plant:     r.Plant,
+		CostLabel: r.CostLabel,
+		Ladder:    r.Ladder.Name,
+		Cases:     r.Opt.Cases,
+		Steps:     r.Opt.Steps,
+		Seed:      r.Opt.Seed,
+	}
+	for _, pt := range r.Points {
+		out.Points = append(out.Points, oic.SeriesPointReport{
+			ID:           pt.Scenario.ID,
+			Detail:       pt.Scenario.Detail,
+			DRLSavingPct: pt.DRLSaving,
+			BBSavingPct:  pt.BBSaving,
+			DRLEnergyPct: pt.DRLEnergy,
+			SkipsPer100:  pt.SkipsDRL,
+			Violations:   pt.Violations,
+		})
+	}
+	return out
+}
+
+// JSONTable1 converts Table I rows to their wire report.
+func JSONTable1(plantName string, rows []Table1Row) oic.Table1Report {
+	out := oic.Table1Report{Kind: "table1", Plant: plantName}
+	for _, row := range rows {
+		out.Rows = append(out.Rows, oic.Table1RowReport{
+			ID:           row.Scenario.ID,
+			Detail:       row.Scenario.Detail,
+			DRLSavingPct: row.DRLSaving,
+			BBSavingPct:  row.BBSaving,
+		})
+	}
+	return out
+}
+
+// JSONTiming converts the computation-time analysis to its wire report.
+func JSONTiming(r *TimingResult) oic.TimingReport {
+	return oic.TimingReport{
+		Kind:             "timing",
+		Plant:            r.Plant,
+		Cases:            r.Opt.Cases,
+		CtrlPerStepNS:    r.CtrlPerStep.Nanoseconds(),
+		MonitorPerStepNS: r.MonitorPerStep.Nanoseconds(),
+		SkipsPer100:      r.SkipsPer100,
+		ComputeSavingPct: r.ComputeSaving,
+	}
+}

@@ -271,6 +271,17 @@ func NewSolver(p *Problem) *Solver {
 // fork's warm chain depends only on its own solve sequence.
 func (s *Solver) Fork() *Solver { return &Solver{p: s.p} }
 
+// ResetWarm discards the warm-start state so the next solve takes the cold
+// two-phase path, exactly as on a freshly forked solver, while keeping
+// every allocated buffer. Pooled workspaces call it between logical
+// sessions: a reused solver's solve chain is then bitwise identical to a
+// fresh fork's, because the cold path rebuilds the tableau from the
+// compiled form. The solve-path stats keep accumulating across resets.
+func (s *Solver) ResetWarm() {
+	s.warm = false
+	s.pivots = 0
+}
+
 // NumRows returns the number of original constraint rows (the length of
 // the rhs parameter accepted by SolveRHS).
 func (s *Solver) NumRows() int { return s.p.m0 }

@@ -219,7 +219,7 @@ func (Plant) Instantiate(gsc plant.Scenario) (plant.Instance, error) {
 			return &Instance{m: m, sc: sc}, nil
 		}
 	}
-	return nil, fmt.Errorf("orbit: unknown scenario %q", gsc.ID)
+	return nil, fmt.Errorf("orbit: %w %q", plant.ErrUnknownScenario, gsc.ID)
 }
 
 // Instance is the station-keeping model bound to one space-weather

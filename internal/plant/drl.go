@@ -158,7 +158,7 @@ func (e *Env) Reset(rng *rand.Rand) (mat.Vec, error) {
 	}
 	e.sess = sess
 	e.t = 0
-	return e.enc.Encode(x0s[0], sess.RecentW()), nil
+	return e.enc.Encode(x0s[0], sess.RecentWView()), nil
 }
 
 // Step implements rl.Env.
@@ -182,7 +182,7 @@ func (e *Env) Step(action int) (mat.Vec, float64, bool, error) {
 	reward := -e.w1*r1 - e.w2*rec.U.Norm1()
 
 	done := e.t >= e.steps
-	return e.enc.Encode(rec.Next, e.sess.RecentW()), reward, done, nil
+	return e.enc.Encode(rec.Next, e.sess.RecentWView()), reward, done, nil
 }
 
 // TrainDRL trains a double-DQN skipping agent for inst with the paper's

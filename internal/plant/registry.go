@@ -1,9 +1,17 @@
 package plant
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+)
+
+// Registry lookup sentinels, errors.Is-able through the wrapped errors Get
+// and FindScenario return (pkg/oic re-exports them on its public surface).
+var (
+	ErrUnknownPlant    = errors.New("plant: unknown plant")
+	ErrUnknownScenario = errors.New("plant: unknown scenario")
 )
 
 var (
@@ -34,7 +42,7 @@ func Get(name string) (Plant, error) {
 	defer regMu.RUnlock()
 	p, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("plant: unknown plant %q (registered: %v)", name, namesLocked())
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownPlant, name, namesLocked())
 	}
 	return p, nil
 }
@@ -68,5 +76,5 @@ func FindScenario(p Plant, id string) (Scenario, error) {
 			}
 		}
 	}
-	return Scenario{}, fmt.Errorf("plant: %s has no scenario %q", p.Name(), id)
+	return Scenario{}, fmt.Errorf("%w: plant %s has no scenario %q", ErrUnknownScenario, p.Name(), id)
 }

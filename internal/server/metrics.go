@@ -1,0 +1,46 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics holds the servable counters: steps, skip decisions, latency,
+// session and engine lifecycle. All atomics, written on the hot path
+// without locks.
+type metrics struct {
+	sessionsCreated atomic.Int64
+	sessionsClosed  atomic.Int64
+	sessionsEvicted atomic.Int64
+	enginesBuilt    atomic.Int64
+
+	steps      atomic.Int64 // executed steps (single + batched)
+	skips      atomic.Int64 // steps with z = 0
+	forced     atomic.Int64 // monitor-forced runs
+	stepErrors atomic.Int64
+	stepNanos  atomic.Int64 // total wall time inside stepping
+}
+
+// render writes the Prometheus text exposition.
+func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("oicd_sessions_active", "live sessions", int64(liveSessions))
+	gauge("oicd_engines_cached", "cached engines (compiled artifact sets)", int64(cachedEngines))
+	counter("oicd_sessions_created_total", "sessions created", m.sessionsCreated.Load())
+	counter("oicd_sessions_closed_total", "sessions closed by clients", m.sessionsClosed.Load())
+	counter("oicd_sessions_evicted_total", "sessions evicted by the TTL janitor", m.sessionsEvicted.Load())
+	counter("oicd_engines_built_total", "engines compiled", m.enginesBuilt.Load())
+	counter("oicd_steps_total", "control steps executed", m.steps.Load())
+	counter("oicd_skips_total", "steps that skipped the controller (z=0)", m.skips.Load())
+	counter("oicd_forced_total", "runs forced by the safety monitor", m.forced.Load())
+	counter("oicd_step_errors_total", "failed step requests", m.stepErrors.Load())
+	// Seconds-sum + count: avg step latency = sum/oicd_steps_total.
+	fmt.Fprintf(w, "# HELP oicd_step_seconds_sum total wall time inside stepping\n# TYPE oicd_step_seconds_sum counter\noicd_step_seconds_sum %g\n",
+		float64(m.stepNanos.Load())/1e9)
+}

@@ -1,0 +1,557 @@
+// Package server implements oicd, the long-running HTTP/JSON session
+// server over the pkg/oic facade (DESIGN.md §6). It exposes the runtime
+// monitor as a service: clients open control sessions against registered
+// plants and stream states in, one step (or a batch of steps) per request.
+//
+//	POST   /v1/sessions           create a session (engine cached per config)
+//	GET    /v1/sessions/{id}      session snapshot
+//	POST   /v1/sessions/{id}/step advance: {"w": [...]} or {"ws": [[...], ...]}
+//	DELETE /v1/sessions/{id}      close the session, recycle its workspace
+//	GET    /v1/plants             plant + scenario catalogue
+//	GET    /healthz               liveness + basic stats
+//	GET    /metrics               Prometheus text format
+//
+// Artifact sharing: engines (safety sets, compiled LP, trained policy)
+// are cached per configuration and shared by every session; session
+// workspaces are pooled inside each engine. Sessions idle longer than the
+// TTL are evicted by a janitor so abandoned clients cannot pin memory.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oic/internal/plant"
+	"oic/pkg/oic"
+)
+
+// Config tunes the server. The zero value serves with 15-minute session
+// TTL and a 4096-session cap.
+type Config struct {
+	// SessionTTL evicts sessions idle longer than this; ≤ 0 means 15m.
+	SessionTTL time.Duration
+	// MaxSessions rejects new sessions beyond this live count; ≤ 0 means 4096.
+	MaxSessions int
+	// MaxEngines rejects session configurations beyond this many cached
+	// engines; ≤ 0 means 64. Engines are expensive (set compilation, DRL
+	// training) and cached for the server's lifetime, so the cap bounds
+	// what client-controlled configuration space can pin.
+	MaxEngines int
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.MaxEngines <= 0 {
+		c.MaxEngines = 64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// engineSlot caches one engine per configuration; the once gate makes
+// expensive construction (set compilation, DRL training) single-flight.
+type engineSlot struct {
+	once sync.Once
+	eng  *oic.Engine
+	err  error
+}
+
+// session is one live server-side session.
+type session struct {
+	id       string
+	s        *oic.Session
+	lastUsed atomic.Int64 // unix nanos of the last touch
+}
+
+// Server is the oicd request handler plus its session and engine state.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	engines  map[string]*engineSlot
+	sessions map[string]*session
+	nextID   uint64
+
+	m metrics
+
+	stopJanitor chan struct{}
+	janitorWG   sync.WaitGroup
+}
+
+// New returns a server; call Handler for its http.Handler and Close on
+// shutdown.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg.withDefaults(),
+		engines:  map[string]*engineSlot{},
+		sessions: map[string]*session{},
+	}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/plants", s.handlePlants)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	return mux
+}
+
+// StartJanitor launches the TTL eviction loop; Close stops it.
+func (s *Server) StartJanitor() {
+	interval := s.cfg.SessionTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	s.stopJanitor = make(chan struct{})
+	s.janitorWG.Add(1)
+	go func() {
+		defer s.janitorWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.EvictIdle()
+			case <-s.stopJanitor:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the janitor and closes every live session, recycling their
+// workspaces.
+func (s *Server) Close() {
+	if s.stopJanitor != nil {
+		close(s.stopJanitor)
+		s.janitorWG.Wait()
+		s.stopJanitor = nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, se := range s.sessions {
+		se.s.Close()
+		delete(s.sessions, id)
+	}
+}
+
+// EvictIdle closes and removes every session idle longer than the TTL,
+// returning how many were evicted. The janitor calls it periodically;
+// tests call it directly.
+func (s *Server) EvictIdle() int {
+	deadline := s.cfg.Now().Add(-s.cfg.SessionTTL).UnixNano()
+	s.mu.Lock()
+	var victims []*session
+	for id, se := range s.sessions {
+		if se.lastUsed.Load() < deadline {
+			victims = append(victims, se)
+			delete(s.sessions, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, se := range victims {
+		se.s.Close()
+		s.m.sessionsEvicted.Add(1)
+	}
+	return len(victims)
+}
+
+// Bounds on client-controlled construction cost: the counts caps
+// (MaxSessions/MaxEngines) bound how many objects exist, these bound how
+// expensive a single one may be (disturbance-ring size, training work).
+const (
+	maxMemory        = 64
+	maxTrainEpisodes = 20000
+	maxTrainSteps    = 20000
+	// maxTrainTotal bounds episodes × steps — the actual training work,
+	// which runs synchronously inside the first create for a config. 1M
+	// steps is ~2× the paper's full scale (500 × 1000) and tens of
+	// seconds of CPU; anything larger belongs in an offline pipeline, not
+	// a serving request.
+	maxTrainTotal = 1_000_000
+)
+
+// validateCreate rejects requests whose per-object cost is unbounded.
+func validateCreate(req *oic.CreateSessionRequest) error {
+	if req.Memory < 0 || req.Memory > maxMemory {
+		return badRequest(fmt.Sprintf("memory %d outside [0, %d]", req.Memory, maxMemory))
+	}
+	if req.Train.Episodes < 0 || req.Train.Episodes > maxTrainEpisodes {
+		return badRequest(fmt.Sprintf("train.episodes %d outside [0, %d]", req.Train.Episodes, maxTrainEpisodes))
+	}
+	if req.Train.Steps < 0 || req.Train.Steps > maxTrainSteps {
+		return badRequest(fmt.Sprintf("train.steps %d outside [0, %d]", req.Train.Steps, maxTrainSteps))
+	}
+	if total := req.Train.Episodes * req.Train.Steps; total > maxTrainTotal {
+		return badRequest(fmt.Sprintf("train.episodes × train.steps = %d exceeds %d total training steps", total, maxTrainTotal))
+	}
+	return nil
+}
+
+// canonicalize resolves the request defaults NewEngine would apply, so
+// semantically identical configurations share one cache slot: empty
+// policy means bang-bang, empty scenario means the plant's headline,
+// training parameters only matter for the DRL policy, and a memory equal
+// to the untrained-policy default (or any non-positive value) folds to 0.
+func canonicalize(cfg oic.Config) oic.Config {
+	if cfg.Policy == "" {
+		cfg.Policy = oic.PolicyBangBang
+	}
+	if cfg.Policy != oic.PolicyDRL {
+		cfg.Train = oic.TrainConfig{}
+	}
+	// Memory ≤ 0 and the explicit default are the same engine for every
+	// policy: untrained policies resolve to DefaultMemory, and DRL
+	// training folds Memory 0 → DefaultMemory before building the encoder.
+	if cfg.Memory < 0 || cfg.Memory == plant.DefaultMemory {
+		cfg.Memory = 0
+	}
+	if cfg.Scenario == "" {
+		if p, err := plant.Get(cfg.Plant); err == nil {
+			cfg.Scenario = p.Headline().ID
+		}
+	}
+	return cfg
+}
+
+// engineKey canonicalizes a session request's engine configuration.
+func engineKey(cfg oic.Config) string {
+	return fmt.Sprintf("%s|%s|%s|m%d|e%d|s%d|seed%d",
+		cfg.Plant, cfg.Scenario, cfg.Policy, cfg.Memory,
+		cfg.Train.Episodes, cfg.Train.Steps, cfg.Train.Seed)
+}
+
+// engine returns the cached engine for cfg, building it on first use.
+func (s *Server) engine(cfg oic.Config) (*oic.Engine, error) {
+	cfg = canonicalize(cfg)
+	key := engineKey(cfg)
+	s.mu.Lock()
+	slot, ok := s.engines[key]
+	if !ok {
+		if len(s.engines) >= s.cfg.MaxEngines {
+			s.mu.Unlock()
+			return nil, errEngineCapacity
+		}
+		slot = &engineSlot{}
+		s.engines[key] = slot
+	}
+	s.mu.Unlock()
+	slot.once.Do(func() {
+		slot.eng, slot.err = oic.NewEngine(cfg)
+		if slot.err == nil {
+			s.m.enginesBuilt.Add(1)
+		}
+	})
+	if slot.err != nil {
+		// Drop failed slots so a later, corrected registry state (or a
+		// transient failure) is not cached forever.
+		s.mu.Lock()
+		if s.engines[key] == slot {
+			delete(s.engines, key)
+		}
+		s.mu.Unlock()
+	}
+	return slot.eng, slot.err
+}
+
+func (s *Server) touch(se *session) { se.lastUsed.Store(s.cfg.Now().UnixNano()) }
+
+func (s *Server) lookup(id string) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se, ok := s.sessions[id]
+	return se, ok
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	live := len(s.sessions)
+	engines := len(s.engines)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"sessions": live,
+		"engines":  engines,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	live := len(s.sessions)
+	engines := len(s.engines)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.render(w, live, engines)
+}
+
+func (s *Server) handlePlants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"plants": oic.Plants()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req oic.CreateSessionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Plant == "" {
+		s.fail(w, badRequest("missing plant"))
+		return
+	}
+	if err := validateCreate(&req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	eng, err := s.engine(oic.Config{
+		Plant: req.Plant, Scenario: req.Scenario, Policy: req.Policy,
+		Memory: req.Memory, Train: req.Train,
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	x0 := req.X0
+	if x0 == nil {
+		xs, err := eng.SampleInitialStates(req.Seed, 1)
+		if err != nil {
+			s.fail(w, fmt.Errorf("sampling initial state: %w", err))
+			return
+		}
+		if len(xs) == 0 {
+			s.fail(w, errors.New("sampling initial state: empty sample from X'"))
+			return
+		}
+		x0 = xs[0]
+	}
+
+	sess, err := eng.NewSession(x0)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// Capacity check and insert share one critical section, so concurrent
+	// creates cannot overshoot the cap between check and insert.
+	se := &session{s: sess}
+	s.touch(se)
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		sess.Close()
+		s.fail(w, errCapacity)
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("s-%d", s.nextID)
+	se.id = id
+	s.sessions[id] = se
+	s.mu.Unlock()
+	s.m.sessionsCreated.Add(1)
+
+	info := sess.Info()
+	info.ID = id
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	se, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		s.fail(w, errNotFound)
+		return
+	}
+	s.touch(se)
+	info := se.s.Info()
+	info.ID = se.id
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	se, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.fail(w, errNotFound)
+		return
+	}
+	info := se.s.Info()
+	info.ID = se.id
+	info.Closed = true
+	se.s.Close()
+	s.m.sessionsClosed.Add(1)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	se, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		s.fail(w, errNotFound)
+		return
+	}
+	var req oic.StepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.W != nil && req.WS != nil {
+		s.fail(w, badRequest(`set either "w" or "ws", not both`))
+		return
+	}
+	s.touch(se)
+	ctx := r.Context()
+
+	if req.WS != nil {
+		start := s.cfg.Now()
+		results, err := se.s.StepMany(ctx, req.WS)
+		s.observeSteps(results, start)
+		if err != nil {
+			// Partial progress plus the terminal error, per-step shaped.
+			results = append(results, oic.StepResult{Error: err.Error()})
+			s.countStepError(err)
+		}
+		writeJSON(w, statusForStepErr(err), oic.StepResponse{Results: results})
+		return
+	}
+
+	start := s.cfg.Now()
+	res, err := se.s.Step(ctx, req.W)
+	if err != nil {
+		s.countStepError(err)
+		s.fail(w, err)
+		return
+	}
+	s.observeSteps([]oic.StepResult{res}, start)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// countStepError increments the error counter, except for client-side
+// cancellations — a dropped connection is not a serving failure and must
+// not inflate the error-rate metric.
+func (s *Server) countStepError(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	s.m.stepErrors.Add(1)
+}
+
+// observeSteps folds executed steps into the step/skip/latency counters.
+func (s *Server) observeSteps(results []oic.StepResult, start time.Time) {
+	if len(results) == 0 {
+		return
+	}
+	elapsed := s.cfg.Now().Sub(start)
+	s.m.steps.Add(int64(len(results)))
+	s.m.stepNanos.Add(elapsed.Nanoseconds())
+	var skips, forced int64
+	for _, r := range results {
+		if r.Error != "" {
+			continue
+		}
+		if !r.Ran {
+			skips++
+		}
+		if r.Forced {
+			forced++
+		}
+	}
+	s.m.skips.Add(skips)
+	s.m.forced.Add(forced)
+}
+
+// ---- error mapping and JSON plumbing ----
+
+var (
+	errNotFound       = errors.New("session not found")
+	errCapacity       = errors.New("session capacity reached")
+	errEngineCapacity = errors.New("engine cache capacity reached (too many distinct configurations)")
+)
+
+type badRequestErr string
+
+func badRequest(msg string) error     { return badRequestErr(msg) }
+func (e badRequestErr) Error() string { return string(e) }
+
+// statusAndCode maps API errors to HTTP status + wire code.
+func statusAndCode(err error) (int, string) {
+	var br badRequestErr
+	switch {
+	case errors.Is(err, errNotFound), errors.Is(err, oic.ErrUnknownPlant), errors.Is(err, oic.ErrUnknownScenario):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, errCapacity), errors.Is(err, errEngineCapacity):
+		return http.StatusTooManyRequests, "capacity"
+	case errors.Is(err, context.Canceled):
+		// Client went away mid-step: not a server error. 499 is nginx's
+		// "client closed request" convention.
+		return 499, "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, oic.ErrSessionClosed):
+		return http.StatusGone, "session_closed"
+	case errors.Is(err, oic.ErrUnsafe):
+		return http.StatusUnprocessableEntity, "unsafe"
+	case errors.Is(err, oic.ErrInfeasible):
+		return http.StatusUnprocessableEntity, "infeasible"
+	case errors.As(err, &br), errors.Is(err, oic.ErrBadDimension), errors.Is(err, oic.ErrUnknownPolicy):
+		return http.StatusBadRequest, "bad_request"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// statusForStepErr keeps batch responses 200 on success and maps the
+// terminal error otherwise (the body still carries partial results).
+func statusForStepErr(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	st, _ := statusAndCode(err)
+	return st
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	st, code := statusAndCode(err)
+	writeJSON(w, st, oic.ErrorResponse{Error: err.Error(), Code: code})
+}
+
+func decodeJSON(r *http.Request, dst any) error {
+	if r.Body == nil || r.ContentLength == 0 {
+		return nil // empty body = zero-value request
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("invalid JSON: " + strings.SplitN(err.Error(), "\n", 2)[0])
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,407 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"oic/pkg/oic"
+
+	_ "oic/internal/acc"
+	_ "oic/internal/thermo"
+)
+
+// client is a minimal typed wrapper over the httptest server.
+type client struct {
+	t    testing.TB
+	base string
+	hc   *http.Client
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *client) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, &client{t: t, base: ts.URL, hc: ts.Client()}
+}
+
+// do issues a request and decodes the JSON response into out (skipped when
+// out is nil), returning the HTTP status.
+func (c *client) do(method, path string, body, out any) int {
+	c.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			c.t.Fatalf("%s %s: decoding %q: %v", method, path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+
+	// Plant catalogue.
+	var plants struct {
+		Plants []oic.PlantInfo `json:"plants"`
+	}
+	if st := c.do("GET", "/v1/plants", nil, &plants); st != http.StatusOK {
+		t.Fatalf("plants: status %d", st)
+	}
+	if len(plants.Plants) < 2 {
+		t.Fatalf("catalogue too small: %+v", plants.Plants)
+	}
+
+	// Create with a sampled initial state.
+	var info oic.SessionInfo
+	st := c.do("POST", "/v1/sessions",
+		oic.CreateSessionRequest{Plant: "thermo", Policy: oic.PolicyBangBang, Seed: 5}, &info)
+	if st != http.StatusCreated {
+		t.Fatalf("create: status %d (%+v)", st, info)
+	}
+	if info.ID == "" || info.Level != "X'" || len(info.X) == 0 {
+		t.Fatalf("create info: %+v", info)
+	}
+
+	// Single step, zero disturbance (empty body).
+	var step oic.StepResult
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", nil, &step); st != http.StatusOK {
+		t.Fatalf("step: status %d", st)
+	}
+	if step.T != 0 || len(step.X) != len(info.X) {
+		t.Fatalf("step result: %+v", step)
+	}
+
+	// Batched steps.
+	nx := len(info.X)
+	ws := make([][]float64, 5)
+	for i := range ws {
+		ws[i] = make([]float64, nx)
+	}
+	var batch oic.StepResponse
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{WS: ws}, &batch); st != http.StatusOK {
+		t.Fatalf("batch: status %d", st)
+	}
+	if len(batch.Results) != 5 || batch.Results[4].T != 5 {
+		t.Fatalf("batch results: %+v", batch.Results)
+	}
+
+	// Snapshot reflects the 6 executed steps.
+	var got oic.SessionInfo
+	if st := c.do("GET", "/v1/sessions/"+info.ID, nil, &got); st != http.StatusOK {
+		t.Fatalf("get: status %d", st)
+	}
+	if got.T != 6 || got.Skips+got.Runs != 6 {
+		t.Fatalf("snapshot: %+v", got)
+	}
+
+	// Metrics reflect the steps.
+	req, _ := http.NewRequest("GET", c.base+"/metrics", nil)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "oicd_steps_total 6") {
+		t.Errorf("metrics missing step count:\n%s", raw)
+	}
+
+	// Delete, then the session is gone and stepping it 404s.
+	var closed oic.SessionInfo
+	if st := c.do("DELETE", "/v1/sessions/"+info.ID, nil, &closed); st != http.StatusOK || !closed.Closed {
+		t.Fatalf("delete: status %d, %+v", st, closed)
+	}
+	var e oic.ErrorResponse
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", nil, &e); st != http.StatusNotFound {
+		t.Fatalf("step after delete: status %d (%+v)", st, e)
+	}
+
+	// Healthz.
+	var hz map[string]any
+	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusOK || hz["ok"] != true {
+		t.Fatalf("healthz: %d %v", st, hz)
+	}
+}
+
+func TestServerErrorMapping(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	var e oic.ErrorResponse
+
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "nope"}, &e); st != http.StatusNotFound || e.Code != "not_found" {
+		t.Errorf("unknown plant: %d %+v", st, e)
+	}
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", Scenario: "Ex.99"}, &e); st != http.StatusNotFound {
+		t.Errorf("unknown scenario: %d %+v", st, e)
+	}
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", Policy: "nope"}, &e); st != http.StatusBadRequest {
+		t.Errorf("unknown policy: %d %+v", st, e)
+	}
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", X0: []float64{1e9, 1e9}}, &e); st != http.StatusUnprocessableEntity || e.Code != "unsafe" {
+		t.Errorf("unsafe x0: %d %+v", st, e)
+	}
+	if st := c.do("GET", "/v1/sessions/s-404", nil, &e); st != http.StatusNotFound {
+		t.Errorf("unknown session: %d %+v", st, e)
+	}
+	// Per-object cost caps: absurd memory / training budgets are rejected
+	// before any engine or session construction.
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", Memory: 1 << 30}, &e); st != http.StatusBadRequest {
+		t.Errorf("huge memory: %d %+v", st, e)
+	}
+	if st := c.do("POST", "/v1/sessions",
+		oic.CreateSessionRequest{Plant: "acc", Policy: oic.PolicyDRL,
+			Train: oic.TrainConfig{Episodes: 1 << 30}}, &e); st != http.StatusBadRequest {
+		t.Errorf("huge training budget: %d %+v", st, e)
+	}
+	// Fields within their individual caps but with an unbounded product
+	// are rejected too.
+	if st := c.do("POST", "/v1/sessions",
+		oic.CreateSessionRequest{Plant: "acc", Policy: oic.PolicyDRL,
+			Train: oic.TrainConfig{Episodes: 20000, Steps: 20000}}, &e); st != http.StatusBadRequest {
+		t.Errorf("huge training product: %d %+v", st, e)
+	}
+
+	// Capacity cap.
+	_, c2 := newTestServer(t, Config{MaxSessions: 1})
+	var info oic.SessionInfo
+	if st := c2.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "thermo"}, &info); st != http.StatusCreated {
+		t.Fatalf("first create: %d", st)
+	}
+	if st := c2.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "thermo"}, &e); st != http.StatusTooManyRequests || e.Code != "capacity" {
+		t.Errorf("capacity: %d %+v", st, e)
+	}
+}
+
+// TestServerSmoke is the oicd smoke test CI runs: start a server, drive
+// 100 steps over HTTP against the ACC plant, and assert every skip
+// decision, input, and state is byte-identical to the in-process pkg/oic
+// library path on the same episode.
+func TestServerSmoke(t *testing.T) {
+	const steps = 100
+
+	// Library path.
+	eng, err := oic.NewEngine(oic.Config{Plant: "acc", Policy: oic.PolicyBangBang})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, w, err := eng.DrawCase(1, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.NewSession(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	want, err := sess.StepMany(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server path: same episode over HTTP (its own engine cache).
+	_, c := newTestServer(t, Config{})
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions",
+		oic.CreateSessionRequest{Plant: "acc", Policy: oic.PolicyBangBang, X0: x0}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	var skips int
+	for i := 0; i < steps; i++ {
+		var got oic.StepResult
+		if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{W: w[i]}, &got); st != http.StatusOK {
+			t.Fatalf("step %d: status %d", i, st)
+		}
+		if got.Ran != want[i].Ran || got.Forced != want[i].Forced || got.Level != want[i].Level {
+			t.Fatalf("step %d: decision (%v,%v,%s) vs library (%v,%v,%s)",
+				i, got.Ran, got.Forced, got.Level, want[i].Ran, want[i].Forced, want[i].Level)
+		}
+		for j := range want[i].X {
+			if got.X[j] != want[i].X[j] {
+				t.Fatalf("step %d: x[%d] = %v vs library %v", i, j, got.X[j], want[i].X[j])
+			}
+		}
+		for j := range want[i].U {
+			if got.U[j] != want[i].U[j] {
+				t.Fatalf("step %d: u[%d] = %v vs library %v", i, j, got.U[j], want[i].U[j])
+			}
+		}
+		if !got.Ran {
+			skips++
+		}
+	}
+	if skips == 0 {
+		t.Fatal("smoke episode never skipped; monitor not exercised")
+	}
+}
+
+func TestServerEviction(t *testing.T) {
+	now := time.Now()
+	clock := &now
+	srv, c := newTestServer(t, Config{
+		SessionTTL: time.Minute,
+		Now:        func() time.Time { return *clock },
+	})
+
+	var a, b oic.SessionInfo
+	c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "thermo"}, &a)
+	next := now.Add(50 * time.Second)
+	clock = &next
+	c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "thermo"}, &b)
+
+	// a is 50s idle, b fresh: nothing beyond the TTL yet.
+	if n := srv.EvictIdle(); n != 0 {
+		t.Fatalf("evicted %d sessions before TTL", n)
+	}
+	// 70s later a is 120s idle (out), b is 70s idle (out too? TTL=60s → yes).
+	// Touch b via GET to keep it alive.
+	later := now.Add(110 * time.Second)
+	clock = &later
+	if st := c.do("GET", "/v1/sessions/"+b.ID, nil, nil); st != http.StatusOK {
+		t.Fatalf("touch b: %d", st)
+	}
+	if n := srv.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1 (only the idle one)", n)
+	}
+	if st := c.do("GET", "/v1/sessions/"+a.ID, nil, nil); st != http.StatusNotFound {
+		t.Errorf("evicted session still served: %d", st)
+	}
+	if st := c.do("GET", "/v1/sessions/"+b.ID, nil, nil); st != http.StatusOK {
+		t.Errorf("live session evicted: %d", st)
+	}
+}
+
+// TestServerEngineCaching pins the artifact-sharing model: two sessions
+// with the same configuration share one engine build.
+func TestServerEngineCaching(t *testing.T) {
+	srv, c := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		var info oic.SessionInfo
+		if st := c.do("POST", "/v1/sessions",
+			oic.CreateSessionRequest{Plant: "thermo", Seed: int64(i)}, &info); st != http.StatusCreated {
+			t.Fatalf("create %d: %d", i, st)
+		}
+	}
+	if n := srv.m.enginesBuilt.Load(); n != 1 {
+		t.Errorf("engines built = %d, want 1 (cache shared)", n)
+	}
+	// Semantically identical configs share a slot: empty policy/scenario
+	// canonicalize to bang-bang on the headline, and training parameters
+	// are ignored for untrained policies.
+	for _, req := range []oic.CreateSessionRequest{
+		{Plant: "thermo", Policy: oic.PolicyBangBang},
+		{Plant: "thermo", Scenario: "Th.3", Train: oic.TrainConfig{Seed: 99}}, // Th.3 is the headline
+		{Plant: "thermo", Memory: 1},                                          // the untrained-policy default window
+	} {
+		var info oic.SessionInfo
+		if st := c.do("POST", "/v1/sessions", req, &info); st != http.StatusCreated {
+			t.Fatalf("create %+v: %d", req, st)
+		}
+	}
+	if n := srv.m.enginesBuilt.Load(); n != 1 {
+		t.Errorf("engines built = %d, want 1 (canonicalized configs must share)", n)
+	}
+	// A different plant builds (and caches) a second engine.
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions",
+		oic.CreateSessionRequest{Plant: "acc"}, &info); st != http.StatusCreated {
+		t.Fatalf("acc create: %d", st)
+	}
+	if n := srv.m.enginesBuilt.Load(); n != 2 {
+		t.Errorf("engines built = %d, want 2", n)
+	}
+	// DRL configs share too: memory 0 and the explicit default window
+	// train the same encoder, so they must not retrain.
+	tiny := oic.TrainConfig{Episodes: 1, Steps: 5}
+	for _, mem := range []int{0, 1} {
+		if st := c.do("POST", "/v1/sessions",
+			oic.CreateSessionRequest{Plant: "thermo", Policy: oic.PolicyDRL, Memory: mem, Train: tiny}, &info); st != http.StatusCreated {
+			t.Fatalf("drl create (memory %d): %d", mem, st)
+		}
+	}
+	if n := srv.m.enginesBuilt.Load(); n != 3 {
+		t.Errorf("engines built = %d, want 3 (drl default-memory configs must share)", n)
+	}
+}
+
+// TestServerEngineCap bounds the client-controlled configuration space: a
+// request needing one engine too many is rejected, existing ones keep
+// serving.
+func TestServerEngineCap(t *testing.T) {
+	_, c := newTestServer(t, Config{MaxEngines: 1})
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "thermo"}, &info); st != http.StatusCreated {
+		t.Fatalf("first engine: %d", st)
+	}
+	var e oic.ErrorResponse
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc"}, &e); st != http.StatusTooManyRequests || e.Code != "capacity" {
+		t.Fatalf("engine cap: %d %+v", st, e)
+	}
+	// The cached configuration still serves.
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "thermo"}, &info); st != http.StatusCreated {
+		t.Fatalf("cached engine after cap: %d", st)
+	}
+}
+
+// BenchmarkServerStep measures a full HTTP step round trip (request
+// marshal, routing, facade step on the RMPC warm path, response marshal)
+// against an httptest loopback server.
+func BenchmarkServerStep(b *testing.B) {
+	_, c := newTestServer(b, Config{})
+	eng, err := oic.NewEngine(oic.Config{Plant: "acc", Policy: oic.PolicyAlwaysRun})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0, w, err := eng.DrawCase(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions",
+		oic.CreateSessionRequest{Plant: "acc", Policy: oic.PolicyAlwaysRun, X0: x0}, &info); st != http.StatusCreated {
+		b.Fatalf("create: %d", st)
+	}
+	body, _ := json.Marshal(oic.StepRequest{W: w[0]})
+	url := c.base + "/v1/sessions/" + info.ID + "/step"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.hc.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

@@ -215,7 +215,7 @@ func (Plant) Instantiate(gsc plant.Scenario) (plant.Instance, error) {
 			return &Instance{m: m, sc: sc}, nil
 		}
 	}
-	return nil, fmt.Errorf("thermo: unknown scenario %q", gsc.ID)
+	return nil, fmt.Errorf("thermo: %w %q", plant.ErrUnknownScenario, gsc.ID)
 }
 
 // Instance is the thermostat model bound to one weather scenario.

@@ -1,0 +1,65 @@
+package oic
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// BatchStep is one unit of work for StepBatch: advance Session by one
+// iteration under disturbance W (nil = zero disturbance).
+type BatchStep struct {
+	Session *Session
+	W       []float64
+}
+
+// StepBatch advances many sessions concurrently across a bounded worker
+// pool and returns one result per input, in input order. Failed steps
+// carry the error in StepResult.Error (and a zero result otherwise);
+// successful ones are identical to what Session.Step would have returned.
+// Workers ≤ 0 means GOMAXPROCS. Duplicate sessions in one batch are legal
+// — their steps serialize on the session mutex in an unspecified order —
+// but batches of distinct sessions are the intended shape.
+func (e *Engine) StepBatch(ctx context.Context, steps []BatchStep, workers int) []StepResult {
+	out := make([]StepResult, len(steps))
+	if len(steps) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(steps) {
+		workers = len(steps)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(steps) {
+					return
+				}
+				st := steps[i]
+				if st.Session == nil {
+					out[i].Error = "nil session"
+					continue
+				}
+				r, err := st.Session.Step(ctx, st.W)
+				if err != nil {
+					out[i] = StepResult{Error: err.Error()}
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

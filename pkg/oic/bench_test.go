@@ -1,0 +1,67 @@
+package oic
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkSessionStep measures one facade step on the RMPC hot path
+// (always-run, warm resolves after the first step) — the per-request cost
+// floor of the oicd server before HTTP overhead.
+func BenchmarkSessionStep(b *testing.B) {
+	e := accEngine(b)
+	x0, w, err := e.DrawCase(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := e.NewSession(x0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(ctx, w[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepBatch measures advancing a fleet of pooled sessions one
+// step through the worker pool — the server's batched-stepping throughput
+// shape. Reported per session-step (64 per iteration).
+func BenchmarkStepBatch(b *testing.B) {
+	e := accEngine(b)
+	const fleet = 64
+	items := make([]BatchStep, fleet)
+	for i := range items {
+		x0, w, err := e.DrawCase(int64(i+1), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := e.NewSession(x0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		items[i] = BatchStep{Session: s, W: w[0]}
+	}
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.StepBatch(ctx, items, workers)
+		for j := range res {
+			if res[j].Error != "" {
+				b.Fatal(res[j].Error)
+			}
+		}
+	}
+	b.StopTimer()
+	perStep := float64(b.Elapsed().Nanoseconds()) / float64(b.N*fleet)
+	b.ReportMetric(perStep, "ns/session-step")
+}

@@ -1,0 +1,36 @@
+package oic
+
+import (
+	"errors"
+
+	"oic/internal/controller"
+	"oic/internal/core"
+	"oic/internal/plant"
+)
+
+// Sentinel errors of the public API. All are errors.Is-able through every
+// wrapping the facade and the oicd server apply; the first three re-export
+// the runtime's own sentinels so internal and facade callers agree on
+// identity.
+var (
+	// ErrInfeasible: the controller's optimization admits no
+	// constraint-satisfying input at the current state.
+	ErrInfeasible = controller.ErrInfeasible
+	// ErrUnsafe: a state lies outside the safe set the operation requires
+	// (e.g. a session start outside XI).
+	ErrUnsafe = core.ErrUnsafe
+	// ErrSessionClosed: the session was closed — explicitly or by a
+	// terminal failure — and refuses further steps.
+	ErrSessionClosed = core.ErrSessionClosed
+	// ErrUnknownPlant: the plant name is not in the registry.
+	ErrUnknownPlant = plant.ErrUnknownPlant
+	// ErrUnknownScenario: the plant has no scenario with that ID.
+	ErrUnknownScenario = plant.ErrUnknownScenario
+
+	// ErrUnknownPolicy: the policy name is not a built-in (or PolicyDRL
+	// was requested from an engine built without it).
+	ErrUnknownPolicy = errors.New("oic: unknown policy")
+	// ErrBadDimension: a state or disturbance vector has the wrong length
+	// for the plant.
+	ErrBadDimension = errors.New("oic: wrong vector dimension")
+)

@@ -1,0 +1,365 @@
+package oic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	_ "oic/internal/acc"
+	_ "oic/internal/orbit"
+	_ "oic/internal/thermo"
+)
+
+// accEngine builds (once per test binary) the shared ACC engine with the
+// always-run policy, so every step exercises the RMPC's compiled-LP hot
+// path — the worst case for workspace sharing bugs.
+var accEngineOnce struct {
+	sync.Once
+	eng *Engine
+	err error
+}
+
+func accEngine(t testing.TB) *Engine {
+	t.Helper()
+	accEngineOnce.Do(func() {
+		accEngineOnce.eng, accEngineOnce.err = NewEngine(Config{Plant: "acc", Policy: PolicyAlwaysRun})
+	})
+	if accEngineOnce.err != nil {
+		t.Fatal(accEngineOnce.err)
+	}
+	return accEngineOnce.eng
+}
+
+// trajectory runs one fresh session over (x0, w) and returns the step
+// results.
+func trajectory(t testing.TB, e *Engine, x0 []float64, w [][]float64) []StepResult {
+	t.Helper()
+	s, err := e.NewSession(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out, err := s.StepMany(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sameResults(a, b []StepResult) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].T != b[i].T || a[i].Level != b[i].Level || a[i].Ran != b[i].Ran || a[i].Forced != b[i].Forced {
+			return fmt.Errorf("step %d: decision %+v vs %+v", i, a[i], b[i])
+		}
+		for j := range a[i].U {
+			if a[i].U[j] != b[i].U[j] {
+				return fmt.Errorf("step %d: u[%d] %v vs %v", i, j, a[i].U[j], b[i].U[j])
+			}
+		}
+		for j := range a[i].X {
+			if a[i].X[j] != b[i].X[j] {
+				return fmt.Errorf("step %d: x[%d] %v vs %v", i, j, a[i].X[j], b[i].X[j])
+			}
+		}
+	}
+	return nil
+}
+
+func TestEngineLookupErrors(t *testing.T) {
+	if _, err := NewEngine(Config{Plant: "nope"}); !errors.Is(err, ErrUnknownPlant) {
+		t.Errorf("unknown plant: %v", err)
+	}
+	if _, err := NewEngine(Config{Plant: "acc", Scenario: "Ex.99"}); !errors.Is(err, ErrUnknownScenario) {
+		t.Errorf("unknown scenario: %v", err)
+	}
+	if _, err := NewEngine(Config{Plant: "acc", Policy: "sometimes"}); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("unknown policy: %v", err)
+	}
+}
+
+func TestSessionDimensionAndSafetyErrors(t *testing.T) {
+	e := accEngine(t)
+	if _, err := e.NewSession([]float64{1}); !errors.Is(err, ErrBadDimension) {
+		t.Errorf("short x0: %v", err)
+	}
+	if _, err := e.NewSession([]float64{1e9, 1e9}); !errors.Is(err, ErrUnsafe) {
+		t.Errorf("unsafe x0: %v", err)
+	}
+	x0s, err := e.SampleInitialStates(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewSession(x0s[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Step(context.Background(), []float64{0}); !errors.Is(err, ErrBadDimension) {
+		t.Errorf("short w: %v", err)
+	}
+	if lvl, err := e.Level(x0s[0]); err != nil || lvl != "X'" {
+		t.Errorf("sampled initial state classifies as %q (err %v), want X'", lvl, err)
+	}
+	if _, err := e.Level([]float64{1}); !errors.Is(err, ErrBadDimension) {
+		t.Errorf("short Level input: %v", err)
+	}
+	// An explicit Memory threads through DRL training, so the trained
+	// window, the session framework, and the episode path all agree.
+	drlEng, err := NewEngine(Config{Plant: "acc", Policy: PolicyDRL, Memory: 2,
+		Train: TrainConfig{Episodes: 1, Steps: 5}})
+	if err != nil {
+		t.Fatalf("DRL engine with explicit memory: %v", err)
+	}
+	x0d, wd, err := drlEng.DrawCase(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drlEng.RunEpisode("", x0d, wd); err != nil {
+		t.Errorf("episode on memory-2 DRL engine: %v", err)
+	}
+	ds, err := drlEng.NewSession(x0d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if _, err := ds.StepMany(context.Background(), wd); err != nil {
+		t.Errorf("session on memory-2 DRL engine: %v", err)
+	}
+}
+
+func TestSessionCloseSemantics(t *testing.T) {
+	e := accEngine(t)
+	x0, w, err := e.DrawCase(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewSession(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StepMany(context.Background(), w); err != nil {
+		t.Fatal(err)
+	}
+	preClose := s.Info()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+	if _, err := s.Step(context.Background(), nil); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("step after close: %v", err)
+	}
+	post := s.Info()
+	if !post.Closed || post.T != preClose.T || post.Energy != preClose.Energy {
+		t.Errorf("post-close info %+v does not preserve pre-close snapshot %+v", post, preClose)
+	}
+	// The recycled workspace must not leak into the closed session's view.
+	s2, err := e.NewSession(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s.Info().T != preClose.T {
+		t.Error("closed session info changed after workspace reuse")
+	}
+}
+
+// TestPooledSessionByteIdentical is the pooling determinism contract: a
+// session running on a recycled workspace (warm-start state reset to
+// cold) must reproduce a fresh session's trajectory to the last bit, even
+// after the workspace was polluted by a different episode.
+func TestPooledSessionByteIdentical(t *testing.T) {
+	e := accEngine(t)
+	x0, w, err := e.DrawCase(11, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := trajectory(t, e, x0, w) // fresh workspace (pool empty)
+
+	// Pollute the pooled workspace with a different episode, then rerun
+	// the reference episode on the recycled workspace.
+	x1, w1, err := e.DrawCase(12, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = trajectory(t, e, x1, w1)
+	got := trajectory(t, e, x0, w)
+	if err := sameResults(ref, got); err != nil {
+		t.Fatalf("pooled session diverged from fresh session: %v", err)
+	}
+}
+
+// TestConcurrentSessionsByteIdentical hammers one shared engine from many
+// goroutines (run with -race): every client's trajectory must be
+// byte-identical to the single-threaded reference for its case.
+func TestConcurrentSessionsByteIdentical(t *testing.T) {
+	e := accEngine(t)
+	const clients, steps, rounds = 8, 20, 3
+
+	type episode struct {
+		x0  []float64
+		w   [][]float64
+		ref []StepResult
+	}
+	eps := make([]episode, clients)
+	for i := range eps {
+		x0, w, err := e.DrawCase(int64(100+i), steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = episode{x0: x0, w: w, ref: trajectory(t, e, x0, w)}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, clients*rounds)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(ep episode) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				s, err := e.NewSession(ep.x0)
+				if err != nil {
+					errc <- err
+					return
+				}
+				got, err := s.StepMany(context.Background(), ep.w)
+				s.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := sameResults(ep.ref, got); err != nil {
+					errc <- fmt.Errorf("round %d: %w", r, err)
+					return
+				}
+			}
+		}(eps[i])
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestStepBatch advances many sessions through the worker pool and checks
+// each against its sequential twin, plus per-item error reporting.
+func TestStepBatch(t *testing.T) {
+	e := accEngine(t)
+	const n, steps = 6, 10
+
+	batch := make([]*Session, n)
+	seq := make([]*Session, n)
+	cases := make([]struct {
+		w [][]float64
+	}, n)
+	for i := 0; i < n; i++ {
+		x0, w, err := e.DrawCase(int64(200+i), steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases[i].w = w
+		if batch[i], err = e.NewSession(x0); err != nil {
+			t.Fatal(err)
+		}
+		if seq[i], err = e.NewSession(x0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for i := 0; i < n; i++ {
+			batch[i].Close()
+			seq[i].Close()
+		}
+	}()
+
+	for st := 0; st < steps; st++ {
+		items := make([]BatchStep, n)
+		for i := 0; i < n; i++ {
+			items[i] = BatchStep{Session: batch[i], W: cases[i].w[st]}
+		}
+		got := e.StepBatch(context.Background(), items, 0)
+		for i := 0; i < n; i++ {
+			if got[i].Error != "" {
+				t.Fatalf("step %d session %d: %s", st, i, got[i].Error)
+			}
+			want, err := seq[i].Step(context.Background(), cases[i].w[st])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sameResults([]StepResult{want}, []StepResult{got[i]}); err != nil {
+				t.Fatalf("batch vs sequential, session %d: %v", i, err)
+			}
+		}
+	}
+
+	// Per-item errors: a closed session in the batch fails alone.
+	batch[0].Close()
+	items := []BatchStep{
+		{Session: batch[0]},
+		{Session: batch[1]},
+		{Session: nil},
+	}
+	got := e.StepBatch(context.Background(), items, 2)
+	if got[0].Error == "" || got[2].Error == "" {
+		t.Errorf("expected per-item errors, got %+v", got)
+	}
+	if got[1].Error != "" {
+		t.Errorf("healthy session failed in mixed batch: %s", got[1].Error)
+	}
+}
+
+// TestRunEpisodeMatchesSessionPath cross-checks the two facade execution
+// paths: RunEpisode (the experiment pipeline's) and session stepping (the
+// server's) must agree on every decision and counter.
+func TestRunEpisodeMatchesSessionPath(t *testing.T) {
+	e := accEngine(t)
+	x0, w, err := e.DrawCase(42, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := e.RunEpisode(PolicyAlwaysRun, x0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := trajectory(t, e, x0, w)
+	var runs, skips int
+	for _, r := range res {
+		if r.Ran {
+			runs++
+		} else {
+			skips++
+		}
+	}
+	if runs != ep.Runs || skips != ep.Skips {
+		t.Errorf("session path runs/skips %d/%d vs episode %d/%d", runs, skips, ep.Runs, ep.Skips)
+	}
+	if ep.Violations != 0 {
+		t.Errorf("violations: %d", ep.Violations)
+	}
+}
+
+func TestPlantsCatalog(t *testing.T) {
+	infos := Plants()
+	if len(infos) < 3 {
+		t.Fatalf("expected ≥3 registered plants, got %d", len(infos))
+	}
+	seen := map[string]bool{}
+	for _, p := range infos {
+		seen[p.Name] = true
+		if p.Headline.ID == "" {
+			t.Errorf("plant %s has no headline scenario", p.Name)
+		}
+	}
+	for _, want := range []string{"acc", "thermo", "orbit"} {
+		if !seen[want] {
+			t.Errorf("catalog missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package oic
+
+// Experiment report wire types: the machine-readable form of the paper's
+// evaluation artifacts that `oic -json` emits and CI/dashboards consume.
+// internal/exp converts its aggregates into these; the shapes here are
+// plain data so external tooling can parse them without this module.
+
+// Histogram is a fixed-bin histogram on the wire: Counts[i] covers
+// [Edges[i], Edges[i+1]), with out-of-range mass in Underflow/Overflow.
+type Histogram struct {
+	Edges     []float64 `json:"edges"`
+	Counts    []int     `json:"counts"`
+	Underflow int       `json:"underflow"`
+	Overflow  int       `json:"overflow"`
+}
+
+// Fig4Report is the savings-distribution experiment (paper Fig. 4).
+type Fig4Report struct {
+	Kind      string `json:"kind"` // "fig4"
+	Plant     string `json:"plant"`
+	CostLabel string `json:"cost_label"`
+	Scenario  string `json:"scenario"`
+	Cases     int    `json:"cases"`
+	Steps     int    `json:"steps"`
+	Seed      int64  `json:"seed"`
+
+	BBHist  Histogram `json:"bb_hist"`
+	DRLHist Histogram `json:"drl_hist"`
+
+	BBMeanPct     float64 `json:"bb_mean_saving_pct"`
+	DRLMeanPct    float64 `json:"drl_mean_saving_pct"`
+	BBEnergyPct   float64 `json:"bb_energy_saving_pct"`
+	DRLEnergyPct  float64 `json:"drl_energy_saving_pct"`
+	SkipsPer100   float64 `json:"drl_skips_per_100"`
+	Violations    int     `json:"violations"`
+	TrainEpisodes int     `json:"train_episodes"`
+}
+
+// SeriesPointReport is one scenario aggregate of a ladder sweep.
+type SeriesPointReport struct {
+	ID           string  `json:"id"`
+	Detail       string  `json:"detail,omitempty"`
+	DRLSavingPct float64 `json:"drl_saving_pct"`
+	BBSavingPct  float64 `json:"bb_saving_pct"`
+	DRLEnergyPct float64 `json:"drl_energy_saving_pct"`
+	SkipsPer100  float64 `json:"skips_per_100"`
+	Violations   int     `json:"violations"`
+}
+
+// SeriesReport is a scenario-ladder sweep (paper Fig. 5 / Fig. 6).
+type SeriesReport struct {
+	Kind      string              `json:"kind"` // "series"
+	Plant     string              `json:"plant"`
+	CostLabel string              `json:"cost_label"`
+	Ladder    string              `json:"ladder"`
+	Cases     int                 `json:"cases"`
+	Steps     int                 `json:"steps"`
+	Seed      int64               `json:"seed"`
+	Points    []SeriesPointReport `json:"points"`
+}
+
+// Table1RowReport is one row of the paper's Table I.
+type Table1RowReport struct {
+	ID           string  `json:"id"`
+	Detail       string  `json:"detail,omitempty"`
+	DRLSavingPct float64 `json:"drl_saving_pct"`
+	BBSavingPct  float64 `json:"bb_saving_pct"`
+}
+
+// Table1Report is the paper's Table I in machine-readable form.
+type Table1Report struct {
+	Kind  string            `json:"kind"` // "table1"
+	Plant string            `json:"plant"`
+	Rows  []Table1RowReport `json:"rows"`
+}
+
+// TimingReport is the Section IV-A computation-time analysis.
+type TimingReport struct {
+	Kind             string  `json:"kind"` // "timing"
+	Plant            string  `json:"plant"`
+	Cases            int     `json:"cases"`
+	CtrlPerStepNS    int64   `json:"ctrl_per_step_ns"`
+	MonitorPerStepNS int64   `json:"monitor_per_step_ns"`
+	SkipsPer100      float64 `json:"skips_per_100"`
+	ComputeSavingPct float64 `json:"compute_saving_pct"`
+}

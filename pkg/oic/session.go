@@ -1,0 +1,179 @@
+package oic
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"oic/internal/core"
+	"oic/internal/mat"
+)
+
+// Session is one in-flight closed-loop run over an Engine. Sessions are
+// cheap: the expensive solver workspace underneath is recycled through the
+// engine's pool across Close/NewSession cycles, reset to its cold state on
+// reuse so pooled and fresh sessions produce byte-identical trajectories.
+//
+// A Session serializes its own Step/Info/Close calls with an internal
+// mutex, so one session may be shared across goroutines (steps interleave
+// in lock order); different sessions never contend.
+type Session struct {
+	mu     sync.Mutex
+	eng    *Engine
+	cs     *core.Session
+	closed bool
+	final  SessionInfo // snapshot served after Close (the workspace is recycled)
+}
+
+// NewSession opens a session at x0, which must lie inside XI. The
+// workspace comes from the engine's pool when one is available.
+func (e *Engine) NewSession(x0 []float64) (*Session, error) {
+	if len(x0) != e.NX() {
+		return nil, fmt.Errorf("%w: x0 has dim %d, want %d", ErrBadDimension, len(x0), e.NX())
+	}
+	var cs *core.Session
+	if v := e.pool.Get(); v != nil {
+		cs = v.(*core.Session)
+		if err := cs.Reset(mat.Vec(x0)); err != nil {
+			e.pool.Put(cs) // the workspace is fine; only x0 was rejected
+			return nil, err
+		}
+	} else {
+		var err error
+		cs, err = e.fw.NewSession(mat.Vec(x0))
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Serving sessions are long-lived: keep aggregate counters only, not
+	// an unbounded per-step record trail.
+	cs.SetRecording(false)
+	return &Session{eng: e, cs: cs}, nil
+}
+
+// Step advances the session one iteration of Algorithm 1 under the
+// disturbance w (nil means zero disturbance) and returns the owned wire
+// result. Sentinels: ErrSessionClosed after Close or a terminal failure,
+// ErrBadDimension for a wrong-length w, ErrInfeasible when κ has no
+// admissible input, and the context's error on cancellation.
+func (s *Session) Step(ctx context.Context, w []float64) (StepResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stepLocked(ctx, w)
+}
+
+func (s *Session) stepLocked(ctx context.Context, w []float64) (StepResult, error) {
+	if s.closed {
+		return StepResult{}, ErrSessionClosed
+	}
+	if w == nil {
+		w = s.eng.zeroW
+	}
+	if len(w) != s.eng.NX() {
+		return StepResult{}, fmt.Errorf("%w: w has dim %d, want %d", ErrBadDimension, len(w), s.eng.NX())
+	}
+	rec, err := s.cs.StepContext(ctx, mat.Vec(w))
+	if err != nil {
+		return StepResult{}, err
+	}
+	// rec carries buffer views (recording is off); clone at the facade
+	// boundary so the wire result is owned by the caller.
+	return StepResult{
+		T:      rec.T,
+		Level:  rec.Level.String(),
+		Ran:    rec.Ran,
+		Forced: rec.Forced,
+		U:      append([]float64(nil), rec.U...),
+		X:      append([]float64(nil), rec.Next...),
+	}, nil
+}
+
+// StepMany applies the disturbance sequence ws in order, stopping at the
+// first failure; it returns the results of every executed step and the
+// error that stopped the run, if any. The context is checked before each
+// step.
+func (s *Session) StepMany(ctx context.Context, ws [][]float64) ([]StepResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StepResult, 0, len(ws))
+	for _, w := range ws {
+		r, err := s.stepLocked(ctx, w)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// State returns an owned snapshot of the current state (the last state
+// before Close for a closed session).
+func (s *Session) State() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return append([]float64(nil), s.final.X...)
+	}
+	return append([]float64(nil), s.cs.StateView()...)
+}
+
+// Time returns the number of completed steps.
+func (s *Session) Time() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.final.T
+	}
+	return s.cs.Time()
+}
+
+// Info returns a wire snapshot of the session (state cloned, counters
+// copied). After Close it serves the final pre-close snapshot — the
+// underlying workspace may already be running another session.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked()
+}
+
+func (s *Session) infoLocked() SessionInfo {
+	if s.closed {
+		return s.final
+	}
+	res := s.cs.Result
+	x := s.cs.StateView()
+	return SessionInfo{
+		Plant:      s.eng.PlantName(),
+		Scenario:   s.eng.ScenarioID(),
+		Policy:     s.eng.PolicyName(),
+		T:          s.cs.Time(),
+		X:          append([]float64(nil), x...),
+		Level:      s.eng.fw.Monitor().Level(x).String(),
+		Skips:      res.Skips,
+		Runs:       res.Runs,
+		Forced:     res.Forced,
+		Violations: res.ViolationsX,
+		Energy:     res.Energy,
+		Closed:     s.cs.Closed(),
+	}
+}
+
+// Close terminates the session and returns its workspace to the engine's
+// pool for reuse. Further Steps return ErrSessionClosed; Info keeps
+// serving the final snapshot. Close is idempotent and never fails; the
+// error return keeps the io.Closer shape.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.final = s.infoLocked()
+	s.final.Closed = true
+	s.closed = true
+	cs := s.cs
+	s.cs = nil
+	cs.Close()
+	s.eng.pool.Put(cs)
+	return nil
+}

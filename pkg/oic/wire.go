@@ -1,0 +1,89 @@
+package oic
+
+// Wire types: the JSON schema shared by the in-process facade and the oicd
+// HTTP server. Every type here is plain data — no internal types — so
+// external clients can vendor this file's shapes in any language.
+
+// ScenarioInfo describes one plant scenario.
+type ScenarioInfo struct {
+	ID          string `json:"id"`
+	Description string `json:"description,omitempty"`
+	Detail      string `json:"detail,omitempty"`
+}
+
+// LadderInfo is an ordered scenario family (one experimental sweep).
+type LadderInfo struct {
+	Name      string         `json:"name"`
+	Title     string         `json:"title,omitempty"`
+	Scenarios []ScenarioInfo `json:"scenarios"`
+}
+
+// PlantInfo describes a registered plant: the GET /v1/plants payload.
+type PlantInfo struct {
+	Name         string       `json:"name"`
+	Description  string       `json:"description"`
+	CostLabel    string       `json:"cost_label"`
+	EpisodeSteps int          `json:"episode_steps"`
+	Headline     ScenarioInfo `json:"headline"`
+	Ladders      []LadderInfo `json:"ladders,omitempty"`
+}
+
+// CreateSessionRequest opens a control session: POST /v1/sessions. X0 may
+// be omitted, in which case the server samples an initial state from the
+// strengthened safe set X′ with Seed.
+type CreateSessionRequest struct {
+	Plant    string      `json:"plant"`
+	Scenario string      `json:"scenario,omitempty"`
+	Policy   string      `json:"policy,omitempty"`
+	Memory   int         `json:"memory,omitempty"`
+	Train    TrainConfig `json:"train,omitempty"`
+	X0       []float64   `json:"x0,omitempty"`
+	Seed     int64       `json:"seed,omitempty"`
+}
+
+// StepRequest advances a session: POST /v1/sessions/{id}/step. Exactly one
+// of W (single step) or WS (batched steps, applied in order) is set; an
+// empty body steps once with the zero disturbance.
+type StepRequest struct {
+	W  []float64   `json:"w,omitempty"`
+	WS [][]float64 `json:"ws,omitempty"`
+}
+
+// StepResult is one executed step of Algorithm 1 on the wire.
+type StepResult struct {
+	T      int       `json:"t"`               // step index (0-based)
+	Level  string    `json:"level"`           // monitor classification of the pre-step state
+	Ran    bool      `json:"ran"`             // effective z(t): κ computed and applied
+	Forced bool      `json:"forced"`          // monitor overrode the policy (x ∉ X′)
+	U      []float64 `json:"u"`               // applied input (zeros when skipped)
+	X      []float64 `json:"x"`               // successor state
+	Error  string    `json:"error,omitempty"` // batch-path per-step failure
+}
+
+// StepResponse is the batched-step payload ({"ws": ...} requests).
+type StepResponse struct {
+	Results []StepResult `json:"results"`
+}
+
+// SessionInfo is a session snapshot: create/GET responses.
+type SessionInfo struct {
+	ID         string    `json:"id,omitempty"` // assigned by the server
+	Plant      string    `json:"plant"`
+	Scenario   string    `json:"scenario"`
+	Policy     string    `json:"policy"`
+	T          int       `json:"t"`
+	X          []float64 `json:"x"`
+	Level      string    `json:"level"`
+	Skips      int       `json:"skips"`
+	Runs       int       `json:"runs"`
+	Forced     int       `json:"forced"`
+	Violations int       `json:"violations"`
+	Energy     float64   `json:"energy"`
+	Closed     bool      `json:"closed"`
+}
+
+// ErrorResponse is the uniform error payload of the oicd server.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"` // bad_request | not_found | unsafe | infeasible | session_closed | capacity
+}
