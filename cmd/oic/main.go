@@ -10,7 +10,9 @@
 //	oic timing  — Section IV-A computation-time analysis
 //	oic sets    — the safety sets X ⊇ XI ⊇ X′ (Fig. 1)
 //	oic budget  — the multi-step strengthened sets S_k (weakly-hard extension)
-//	oic all     — everything above
+//	oic fleet   — sweep fleet sizes against a per-tick compute budget and
+//	              report the achievable sessions-per-core curve (DESIGN.md §7)
+//	oic all     — everything above except fleet
 //
 // Every experiment is seeded and deterministic for a fixed -seed and
 // -workers-independent. Use -csv to additionally emit raw per-case data.
@@ -25,10 +27,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,9 +58,13 @@ func main() {
 	csv := fs.String("csv", "", "directory to write raw CSV data into")
 	plantName := fs.String("plant", "acc", "plant to evaluate (see 'oic plants')")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON results on stdout (banners go to stderr)")
+	fleetBudget := fs.Int("budget", 96, "fleet: κ-compute budget per tick")
+	fleetTicks := fs.Int("ticks", 50, "fleet: ticks per fleet run")
+	fleetSizes := fs.String("fleet-sizes", "250,500,1000,2000", "fleet: comma-separated fleet sizes to sweep")
+	deadline := fs.Duration("deadline", 100*time.Millisecond, "fleet: real-time tick deadline (the plant's control period)")
 
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|all [flags]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|fleet|all [flags]\n\n")
 		fs.PrintDefaults()
 	}
 	// Parse flags first, then take the first positional argument as the
@@ -274,6 +283,126 @@ func main() {
 		return emit(map[string]any{"kind": "budget", "plant": p.Name(), "sets": docs}, b.String())
 	}
 
+	// doFleetSweep runs the opportunistic fleet scheduler at each fleet
+	// size against the fixed compute budget and reports whether a tick
+	// fits the real-time deadline — the system-level form of the paper's
+	// Table I savings: how many sessions one machine serves because
+	// skipped computations are reclaimed capacity.
+	doFleetSweep := func() error {
+		eng, err := headlineEngine()
+		if err != nil {
+			return err
+		}
+		var sizes []int
+		for _, tok := range strings.Split(*fleetSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -fleet-sizes entry %q", tok)
+			}
+			sizes = append(sizes, n)
+		}
+		type point struct {
+			Sessions       int     `json:"sessions"`
+			MeanTickMS     float64 `json:"mean_tick_ms"`
+			MaxTickMS      float64 `json:"max_tick_ms"`
+			Utilization    float64 `json:"utilization"`
+			ReclaimedRatio float64 `json:"reclaimed_ratio"`
+			Shed           int64   `json:"shed"`
+			Violations     int     `json:"violations"`
+			RealTime       bool    `json:"real_time"`
+		}
+		var pts []point
+		var b strings.Builder
+		fmt.Fprintf(&b, "fleet sweep on plant %q: budget %d κ-computes/tick, %d ticks, deadline %v\n",
+			p.Name(), *fleetBudget, *fleetTicks, *deadline)
+		fmt.Fprintf(&b, "(real-time = worst steady-state tick ≤ deadline; tick 0 pays the one-time cold solves and is excluded)\n")
+		fmt.Fprintf(&b, "%9s %12s %12s %12s %11s %9s %6s %s\n",
+			"sessions", "mean tick", "max tick", "utilization", "reclaimed", "shed", "viol", "real-time")
+		achievable := 0
+		for _, size := range sizes {
+			f, err := eng.NewFleet(oic.FleetConfig{ComputeBudget: *fleetBudget, MaxSessions: size})
+			if err != nil {
+				return err
+			}
+			ids := make([]int, size)
+			traces := make([][][]float64, size)
+			for i := 0; i < size; i++ {
+				x0, w, err := eng.DrawCase(*seed+int64(i), *fleetTicks)
+				if err != nil {
+					f.Close()
+					return err
+				}
+				if ids[i], err = f.Admit(x0); err != nil {
+					f.Close()
+					return err
+				}
+				traces[i] = w
+			}
+			ctx := context.Background()
+			// Tick 0 pays every member's one-time cold κ solve and is
+			// excluded from the latency statistics; steady state is what
+			// the deadline question is about. Real-time means the *worst*
+			// steady-state tick fits the control period — a tick over the
+			// deadline is a missed control deadline, however good the mean.
+			var meanNS, maxNS float64
+			steady := *fleetTicks - 1
+			if steady < 1 {
+				steady = 1
+			}
+			for tk := 0; tk < *fleetTicks; tk++ {
+				ws := make(map[int][]float64, size)
+				for i, id := range ids {
+					ws[id] = traces[i][tk]
+				}
+				rep, err := f.Tick(ctx, ws)
+				if err != nil {
+					f.Close()
+					return err
+				}
+				if tk == 0 && *fleetTicks > 1 {
+					continue
+				}
+				ns := float64(rep.Elapsed.Nanoseconds())
+				meanNS += ns / float64(steady)
+				if ns > maxNS {
+					maxNS = ns
+				}
+			}
+			st := f.Stats()
+			f.Close()
+			pt := point{
+				Sessions:       size,
+				MeanTickMS:     meanNS / 1e6,
+				MaxTickMS:      maxNS / 1e6,
+				Utilization:    st.Utilization,
+				ReclaimedRatio: st.ReclaimedRatio,
+				Shed:           st.Shed,
+				Violations:     st.Violations,
+				RealTime:       maxNS <= float64(deadline.Nanoseconds()),
+			}
+			pts = append(pts, pt)
+			if pt.RealTime && size > achievable {
+				achievable = size
+			}
+			fmt.Fprintf(&b, "%9d %10.2fms %10.2fms %12.2f %10.1f%% %9d %6d %v\n",
+				pt.Sessions, pt.MeanTickMS, pt.MaxTickMS, pt.Utilization,
+				100*pt.ReclaimedRatio, pt.Shed, pt.Violations, pt.RealTime)
+		}
+		cores := runtime.NumCPU()
+		perCore := float64(achievable) / float64(cores)
+		fmt.Fprintf(&b, "achievable in real time: %d sessions on %d cores = %.0f sessions/core\n",
+			achievable, cores, perCore)
+		return emit(map[string]any{
+			"kind": "fleet", "plant": p.Name(),
+			"compute_budget": *fleetBudget, "ticks": *fleetTicks,
+			"deadline_ms":         float64(deadline.Nanoseconds()) / 1e6,
+			"points":              pts,
+			"achievable_sessions": achievable,
+			"cores":               cores,
+			"sessions_per_core":   perCore,
+		}, b.String())
+	}
+
 	switch cmd {
 	case "fig4":
 		run("fig4", doFig4)
@@ -289,6 +418,8 @@ func main() {
 		run("sets", doSets)
 	case "budget":
 		run("budget", doBudget)
+	case "fleet":
+		run("fleet", doFleetSweep)
 	case "all":
 		run("sets", doSets)
 		run("budget", doBudget)

@@ -4,20 +4,26 @@
 // in; the server answers with Algorithm 1's per-step decision (run κ or
 // skip) and the resulting input, sharing each configuration's compiled
 // artifacts (safety sets, parametric LP, trained policy) across every
-// session. See README.md for a curl transcript and DESIGN.md §6 for the
+// session. Fleets (/v1/fleets) multiplex thousands of sessions over a
+// per-tick compute budget through the opportunistic scheduler. See
+// README.md for a curl transcript and DESIGN.md §6–§7 for the
 // architecture.
 //
 // Usage:
 //
-//	oicd [-addr :8080] [-ttl 15m] [-max-sessions 4096]
+//	oicd [-addr :8080] [-ttl 15m] [-max-sessions 4096] [-max-fleets 16]
+//	     [-pprof 127.0.0.1:6060]
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -32,19 +38,39 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	ttl := flag.Duration("ttl", 15*time.Minute, "evict sessions idle longer than this")
+	ttl := flag.Duration("ttl", 15*time.Minute, "evict sessions and fleets idle longer than this")
 	maxSessions := flag.Int("max-sessions", 4096, "maximum live sessions")
 	maxEngines := flag.Int("max-engines", 64, "maximum cached engines (distinct session configurations)")
+	maxFleets := flag.Int("max-fleets", 16, "maximum live fleets")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
+	readTimeout := flag.Duration("read-timeout", 60*time.Second, "full-request read timeout")
+	writeTimeout := flag.Duration("write-timeout", 120*time.Second, "response write timeout (batched steps and fleet ticks run inside it)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
 
-	srv := server.New(server.Config{SessionTTL: *ttl, MaxSessions: *maxSessions, MaxEngines: *maxEngines})
+	srv := server.New(server.Config{
+		SessionTTL: *ttl, MaxSessions: *maxSessions,
+		MaxEngines: *maxEngines, MaxFleets: *maxFleets,
+	})
 	srv.StartJanitor()
 
+	// Slowloris hardening: bound every phase of a connection's lifetime.
+	// The write timeout is generous because batched-step and fleet-tick
+	// requests legitimately compute for seconds.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr); err != nil {
+			log.Fatalf("oicd: -pprof: %v", err)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -52,7 +78,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("oicd: serving on %s (session ttl %v, max %d)", *addr, *ttl, *maxSessions)
+	log.Printf("oicd: serving on %s (session ttl %v, max sessions %d, max fleets %d)",
+		*addr, *ttl, *maxSessions, *maxFleets)
 
 	select {
 	case err := <-errc:
@@ -68,4 +95,41 @@ func main() {
 	}
 	srv.Close()
 	log.Printf("oicd: bye")
+}
+
+// startPprof serves net/http/pprof on its own listener, separate from the
+// API mux so profiling is never reachable through the public address. The
+// address must resolve to a loopback interface — profiles leak heap
+// contents and must not be exposed.
+func startPprof(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("invalid address %q: %w", addr, err)
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		if !ip.IsLoopback() {
+			return fmt.Errorf("address %q is not a loopback interface", addr)
+		}
+	} else if host != "localhost" {
+		return fmt.Errorf("address %q is not a loopback interface", addr)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("oicd: pprof on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		// ReadHeaderTimeout quiets gosec; the listener is loopback-only.
+		s := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := s.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("oicd: pprof: %v", err)
+		}
+	}()
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"oic/internal/lti"
+	"oic/internal/mat"
 	"oic/internal/poly"
 )
 
@@ -55,4 +56,58 @@ func ConsecutiveSkipSets(xi *poly.Polytope, sys *lti.System, maxSkips int) ([]*p
 		prev = sk
 	}
 	return out, nil
+}
+
+// SkipBudget is the precomputed oracle over a consecutive-skip chain
+// S₁ ⊇ S₂ ⊇ … ⊇ S_m: it answers "how many consecutive zero-input steps can
+// this state still absorb without leaving XI" in O(log m) membership tests,
+// so schedulers and clients read the remaining budget online without
+// re-deriving the chain. The oracle is immutable and safe for concurrent
+// use (membership tests are read-only).
+type SkipBudget struct {
+	chain []*poly.Polytope
+	tol   float64
+}
+
+// NewSkipBudget computes the skip chain for (xi, sys) up to maxSkips and
+// wraps it in an oracle. The chain may be shorter than maxSkips when a set
+// becomes empty (see ConsecutiveSkipSets).
+func NewSkipBudget(xi *poly.Polytope, sys *lti.System, maxSkips int) (*SkipBudget, error) {
+	chain, err := ConsecutiveSkipSets(xi, sys, maxSkips)
+	if err != nil {
+		return nil, err
+	}
+	return BudgetFromChain(chain), nil
+}
+
+// BudgetFromChain wraps an already-computed monotone chain S₁ ⊇ … ⊇ S_m.
+// The chain is retained, not copied.
+func BudgetFromChain(chain []*poly.Polytope) *SkipBudget {
+	return &SkipBudget{chain: chain, tol: 1e-9}
+}
+
+// Max returns the chain depth m: no budget larger than Max is ever
+// reported, even when the chain reached a fixed point that would tolerate
+// unbounded skipping.
+func (b *SkipBudget) Max() int { return len(b.chain) }
+
+// Sets returns the underlying chain S₁ … S_m (shared; do not mutate).
+func (b *SkipBudget) Sets() []*poly.Polytope { return b.chain }
+
+// Remaining returns the largest k with x ∈ S_k — the number of consecutive
+// skipped control steps the state is certified to absorb while staying
+// inside XI under every admissible disturbance — or 0 when x ∉ S₁ = X′
+// (skipping is not provably safe at all). Because the chain is monotone
+// decreasing, membership is a prefix property and a binary search suffices.
+func (b *SkipBudget) Remaining(x mat.Vec) int {
+	lo, hi := 0, len(b.chain) // invariant: x ∈ S_lo (S_0 := everything), x ∉ S_{hi+1}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if b.chain[mid-1].Contains(x, b.tol) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
 }

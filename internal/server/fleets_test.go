@@ -1,0 +1,240 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"oic/pkg/oic"
+)
+
+func TestFleetEndToEnd(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+
+	var fi oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+		Plant: "acc", Policy: oic.PolicyAlwaysRun,
+		ComputeBudget: 2, Size: 8, Seed: 1,
+	}, &fi); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	if fi.ID == "" || fi.Sessions != 8 || fi.Budget != 2 {
+		t.Fatalf("create info: %+v", fi)
+	}
+	if fi.MaxSkipBudget < 1 {
+		t.Fatalf("MaxSkipBudget = %d, want ≥ 1", fi.MaxSkipBudget)
+	}
+
+	// Five zero-disturbance ticks: with always-run and budget 2, six of
+	// eight members shed every tick while they stay inside X′.
+	var tr oic.FleetTickResponse
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/tick", oic.FleetTickRequest{Ticks: 5}, &tr); st != http.StatusOK {
+		t.Fatalf("tick: status %d", st)
+	}
+	if len(tr.Reports) != 5 {
+		t.Fatalf("got %d reports, want 5", len(tr.Reports))
+	}
+	for i, rep := range tr.Reports {
+		if rep.Sessions != 8 {
+			t.Fatalf("report %d: sessions %d", i, rep.Sessions)
+		}
+		if rep.Violations != 0 {
+			t.Fatalf("report %d: %d violations", i, rep.Violations)
+		}
+		if rep.Computes > 2 && rep.Overrun == 0 {
+			t.Fatalf("report %d: computes %d over budget without overrun", i, rep.Computes)
+		}
+	}
+
+	// Single tick with explicit disturbances for two members.
+	var single oic.FleetTickResponse
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/tick", oic.FleetTickRequest{
+		WS: map[int][]float64{0: {0.5, 0}, 1: {-0.5, 0}},
+	}, &single); st != http.StatusOK {
+		t.Fatalf("tick ws: status %d", st)
+	}
+
+	// Admit a ninth member, inspect it, evict it.
+	var mi oic.FleetMemberInfo
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/sessions", oic.FleetAdmitRequest{Seed: 9}, &mi); st != http.StatusCreated {
+		t.Fatalf("admit: status %d", st)
+	}
+	if mi.T != 0 || mi.SkipBudget < 1 {
+		t.Fatalf("admitted member: %+v", mi)
+	}
+	var got oic.FleetMemberInfo
+	if st := c.do("GET", fmt.Sprintf("/v1/fleets/%s/sessions/%d", fi.ID, mi.ID), nil, &got); st != http.StatusOK {
+		t.Fatalf("member get: status %d", st)
+	}
+	if st := c.do("DELETE", fmt.Sprintf("/v1/fleets/%s/sessions/%d", fi.ID, mi.ID), nil, nil); st != http.StatusOK {
+		t.Fatalf("member delete: status %d", st)
+	}
+	if st := c.do("GET", fmt.Sprintf("/v1/fleets/%s/sessions/%d", fi.ID, mi.ID), nil, nil); st != http.StatusNotFound {
+		t.Fatalf("member get after evict: status %d, want 404", st)
+	}
+
+	// Stats reflect the six executed ticks.
+	var snap oic.FleetInfo
+	if st := c.do("GET", "/v1/fleets/"+fi.ID, nil, &snap); st != http.StatusOK {
+		t.Fatalf("get: status %d", st)
+	}
+	if snap.Ticks != 6 || snap.Sessions != 8 || snap.Violations != 0 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if snap.ReclaimedRatio <= 0.5 {
+		t.Fatalf("reclaimed ratio %.2f, want > 0.5 (budget 2 of 8 always-run)", snap.ReclaimedRatio)
+	}
+
+	var closed oic.FleetInfo
+	if st := c.do("DELETE", "/v1/fleets/"+fi.ID, nil, &closed); st != http.StatusOK {
+		t.Fatalf("delete: status %d", st)
+	}
+	if !closed.Closed {
+		t.Fatalf("delete response not marked closed: %+v", closed)
+	}
+	if st := c.do("GET", "/v1/fleets/"+fi.ID, nil, nil); st != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d, want 404", st)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  oic.CreateFleetRequest
+		want int
+	}{
+		{"missing plant", oic.CreateFleetRequest{}, http.StatusBadRequest},
+		{"unknown plant", oic.CreateFleetRequest{Plant: "nope"}, http.StatusNotFound},
+		{"oversized max_sessions", oic.CreateFleetRequest{Plant: "acc", MaxSessions: maxFleetSessions + 1}, http.StatusBadRequest},
+		{"size over max", oic.CreateFleetRequest{Plant: "acc", MaxSessions: 4, Size: 5}, http.StatusBadRequest},
+		{"negative budget", oic.CreateFleetRequest{Plant: "acc", ComputeBudget: -1}, http.StatusBadRequest},
+		{"negative workers", oic.CreateFleetRequest{Plant: "acc", Workers: -1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var er oic.ErrorResponse
+		if st := c.do("POST", "/v1/fleets", tc.req, &er); st != tc.want {
+			t.Errorf("%s: status %d, want %d (%+v)", tc.name, st, tc.want, er)
+		}
+	}
+
+	var fi oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{Plant: "acc", Size: 2, Seed: 1}, &fi); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/tick", oic.FleetTickRequest{Ticks: maxTicksPerReq + 1}, nil); st != http.StatusBadRequest {
+		t.Fatalf("oversized ticks: status %d, want 400", st)
+	}
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/tick", oic.FleetTickRequest{
+		Ticks: 2, WS: map[int][]float64{0: {0, 0}},
+	}, nil); st != http.StatusBadRequest {
+		t.Fatalf("ws with ticks>1: status %d, want 400", st)
+	}
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/tick", oic.FleetTickRequest{
+		WS: map[int][]float64{99: {0, 0}},
+	}, nil); st != http.StatusNotFound {
+		t.Fatalf("unknown member in ws: status %d, want 404", st)
+	}
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/tick", oic.FleetTickRequest{
+		WS: map[int][]float64{0: {1}},
+	}, nil); st != http.StatusBadRequest {
+		t.Fatalf("short disturbance: status %d, want 400", st)
+	}
+	if st := c.do("GET", "/v1/fleets/"+fi.ID+"/sessions/abc", nil, nil); st != http.StatusBadRequest {
+		t.Fatalf("non-integer member id: status %d, want 400", st)
+	}
+	if st := c.do("POST", "/v1/fleets/nope/tick", nil, nil); st != http.StatusNotFound {
+		t.Fatalf("unknown fleet tick: status %d, want 404", st)
+	}
+}
+
+func TestFleetCapacity(t *testing.T) {
+	_, c := newTestServer(t, Config{MaxFleets: 1})
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{Plant: "acc"}, nil); st != http.StatusCreated {
+		t.Fatalf("first create: status %d", st)
+	}
+	var er oic.ErrorResponse
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{Plant: "acc"}, &er); st != http.StatusTooManyRequests {
+		t.Fatalf("second create: status %d, want 429 (%+v)", st, er)
+	}
+	if er.Code != "capacity" {
+		t.Fatalf("error code %q, want capacity", er.Code)
+	}
+}
+
+func TestFleetAdmissionFullOverHTTP(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	var fi oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+		Plant: "acc", MaxSessions: 2, Size: 2, Seed: 1,
+	}, &fi); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	var er oic.ErrorResponse
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/sessions", oic.FleetAdmitRequest{Seed: 3}, &er); st != http.StatusTooManyRequests {
+		t.Fatalf("admit past capacity: status %d (%+v)", st, er)
+	}
+	if er.Code != "capacity" {
+		t.Fatalf("error code %q, want capacity", er.Code)
+	}
+}
+
+func TestFleetEviction(t *testing.T) {
+	now := time.Now()
+	cfg := Config{SessionTTL: time.Minute, Now: func() time.Time { return now }}
+	srv, c := newTestServer(t, cfg)
+	var fi oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{Plant: "acc", Size: 2, Seed: 1}, &fi); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	now = now.Add(30 * time.Second)
+	if n := srv.EvictIdle(); n != 0 {
+		t.Fatalf("evicted %d before TTL", n)
+	}
+	now = now.Add(2 * time.Minute)
+	if n := srv.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if st := c.do("GET", "/v1/fleets/"+fi.ID, nil, nil); st != http.StatusNotFound {
+		t.Fatalf("get after eviction: status %d, want 404", st)
+	}
+}
+
+func TestFleetMetricsExposition(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	var fi oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+		Plant: "acc", Policy: oic.PolicyAlwaysRun, ComputeBudget: 1, Size: 4, Seed: 1,
+	}, &fi); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/tick", oic.FleetTickRequest{Ticks: 3}, nil); st != http.StatusOK {
+		t.Fatalf("tick: status %d", st)
+	}
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"oicd_fleets_active 1",
+		"oicd_fleet_ticks_total 3",
+		"oicd_fleet_steps_total 12",
+		"oicd_fleet_shed_total",
+		"oicd_fleet_utilization",
+		"oicd_fleet_reclaimed_ratio",
+		"oicd_fleet_tick_seconds_sum",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"oic/pkg/oic"
 )
 
 // metrics holds the servable counters: steps, skip decisions, latency,
-// session and engine lifecycle. All atomics, written on the hot path
-// without locks.
+// session, fleet, and engine lifecycle. All atomics, written on the hot
+// path without locks.
 type metrics struct {
 	sessionsCreated atomic.Int64
 	sessionsClosed  atomic.Int64
@@ -20,18 +22,59 @@ type metrics struct {
 	forced     atomic.Int64 // monitor-forced runs
 	stepErrors atomic.Int64
 	stepNanos  atomic.Int64 // total wall time inside stepping
+
+	fleetsCreated atomic.Int64
+	fleetsClosed  atomic.Int64
+	fleetsEvicted atomic.Int64
+
+	fleetTicks     atomic.Int64
+	fleetTickNanos atomic.Int64
+	fleetSteps     atomic.Int64 // session-steps executed by fleet ticks
+	fleetComputes  atomic.Int64
+	fleetSkips     atomic.Int64
+	fleetShed      atomic.Int64
+	fleetForced    atomic.Int64
+	fleetOverrun   atomic.Int64
+}
+
+// observeTick folds one fleet tick into the counters.
+func (m *metrics) observeTick(rep oic.TickReport) {
+	m.fleetTicks.Add(1)
+	m.fleetTickNanos.Add(rep.Elapsed.Nanoseconds())
+	m.fleetSteps.Add(int64(rep.Sessions))
+	m.fleetComputes.Add(int64(rep.Computes))
+	m.fleetSkips.Add(int64(rep.Skips))
+	m.fleetShed.Add(int64(rep.Shed))
+	m.fleetForced.Add(int64(rep.Forced))
+	m.fleetOverrun.Add(int64(rep.Overrun))
+}
+
+// fleetGauge is one live fleet's scrape-time gauge snapshot, labeled by
+// fleet ID — per-fleet values would be meaningless as server-global
+// last-writer gauges once two fleets tick concurrently.
+type fleetGauge struct {
+	id    string
+	stats oic.FleetStats
 }
 
 // render writes the Prometheus text exposition.
-func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int) {
+func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []fleetGauge) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	// fleetGaugeF emits one labeled gauge line per live fleet.
+	fleetGaugeF := func(name, help string, v func(oic.FleetStats) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, fg := range fleets {
+			fmt.Fprintf(w, "%s{fleet=%q} %g\n", name, fg.id, v(fg.stats))
+		}
+	}
 	gauge("oicd_sessions_active", "live sessions", int64(liveSessions))
 	gauge("oicd_engines_cached", "cached engines (compiled artifact sets)", int64(cachedEngines))
+	gauge("oicd_fleets_active", "live fleets", int64(len(fleets)))
 	counter("oicd_sessions_created_total", "sessions created", m.sessionsCreated.Load())
 	counter("oicd_sessions_closed_total", "sessions closed by clients", m.sessionsClosed.Load())
 	counter("oicd_sessions_evicted_total", "sessions evicted by the TTL janitor", m.sessionsEvicted.Load())
@@ -43,4 +86,28 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int) {
 	// Seconds-sum + count: avg step latency = sum/oicd_steps_total.
 	fmt.Fprintf(w, "# HELP oicd_step_seconds_sum total wall time inside stepping\n# TYPE oicd_step_seconds_sum counter\noicd_step_seconds_sum %g\n",
 		float64(m.stepNanos.Load())/1e9)
+
+	counter("oicd_fleets_created_total", "fleets created", m.fleetsCreated.Load())
+	counter("oicd_fleets_closed_total", "fleets closed by clients", m.fleetsClosed.Load())
+	counter("oicd_fleets_evicted_total", "fleets evicted by the TTL janitor", m.fleetsEvicted.Load())
+	counter("oicd_fleet_ticks_total", "fleet scheduler ticks executed", m.fleetTicks.Load())
+	counter("oicd_fleet_steps_total", "session-steps executed by fleet ticks", m.fleetSteps.Load())
+	counter("oicd_fleet_computes_total", "full controller computations scheduled by fleets", m.fleetComputes.Load())
+	counter("oicd_fleet_skips_total", "policy-chosen skips inside fleet ticks", m.fleetSkips.Load())
+	counter("oicd_fleet_shed_total", "would-be computes shed into guaranteed-safe skips", m.fleetShed.Load())
+	counter("oicd_fleet_forced_total", "monitor-forced computes inside fleet ticks", m.fleetForced.Load())
+	counter("oicd_fleet_overrun_total", "forced computes beyond the per-tick budget", m.fleetOverrun.Load())
+	// Seconds-sum + count: avg tick latency = sum/oicd_fleet_ticks_total.
+	fmt.Fprintf(w, "# HELP oicd_fleet_tick_seconds_sum total wall time inside fleet ticks\n# TYPE oicd_fleet_tick_seconds_sum counter\noicd_fleet_tick_seconds_sum %g\n",
+		float64(m.fleetTickNanos.Load())/1e9)
+	if len(fleets) > 0 {
+		fleetGaugeF("oicd_fleet_sessions", "live members per fleet",
+			func(st oic.FleetStats) float64 { return float64(st.Sessions) })
+		fleetGaugeF("oicd_fleet_utilization", "mean computes per tick / compute budget",
+			func(st oic.FleetStats) float64 { return st.Utilization })
+		fleetGaugeF("oicd_fleet_reclaimed_ratio", "(skips+shed) / steps",
+			func(st oic.FleetStats) float64 { return st.ReclaimedRatio })
+		fleetGaugeF("oicd_fleet_pressure", "last tick's forced computes / compute budget",
+			func(st oic.FleetStats) float64 { return st.Pressure })
+	}
 }

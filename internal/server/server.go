@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,10 @@ type Config struct {
 	// training) and cached for the server's lifetime, so the cap bounds
 	// what client-controlled configuration space can pin.
 	MaxEngines int
+	// MaxFleets rejects new fleets beyond this live count; ≤ 0 means 16.
+	// A fleet can hold thousands of pooled sessions, so the cap is much
+	// smaller than MaxSessions.
+	MaxFleets int
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -57,6 +62,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEngines <= 0 {
 		c.MaxEngines = 64
+	}
+	if c.MaxFleets <= 0 {
+		c.MaxFleets = 16
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -72,21 +80,31 @@ type engineSlot struct {
 	err  error
 }
 
+// touchable carries the TTL janitor's last-use stamp; embed it in every
+// evictable server object.
+type touchable struct {
+	lastUsed atomic.Int64 // unix nanos of the last touch
+}
+
+func (t *touchable) stamp(ns int64) { t.lastUsed.Store(ns) }
+
 // session is one live server-side session.
 type session struct {
-	id       string
-	s        *oic.Session
-	lastUsed atomic.Int64 // unix nanos of the last touch
+	id string
+	s  *oic.Session
+	touchable
 }
 
 // Server is the oicd request handler plus its session and engine state.
 type Server struct {
 	cfg Config
 
-	mu       sync.Mutex
-	engines  map[string]*engineSlot
-	sessions map[string]*session
-	nextID   uint64
+	mu          sync.Mutex
+	engines     map[string]*engineSlot
+	sessions    map[string]*session
+	fleets      map[string]*fleetEntry
+	nextID      uint64
+	nextFleetID uint64
 
 	m metrics
 
@@ -101,6 +119,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg.withDefaults(),
 		engines:  map[string]*engineSlot{},
 		sessions: map[string]*session{},
+		fleets:   map[string]*fleetEntry{},
 	}
 }
 
@@ -114,6 +133,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/fleets", s.handleFleetCreate)
+	mux.HandleFunc("GET /v1/fleets/{id}", s.handleFleetGet)
+	mux.HandleFunc("DELETE /v1/fleets/{id}", s.handleFleetDelete)
+	mux.HandleFunc("POST /v1/fleets/{id}/tick", s.handleFleetTick)
+	mux.HandleFunc("POST /v1/fleets/{id}/sessions", s.handleFleetAdmit)
+	mux.HandleFunc("GET /v1/fleets/{id}/sessions/{mid}", s.handleFleetMemberGet)
+	mux.HandleFunc("DELETE /v1/fleets/{id}/sessions/{mid}", s.handleFleetMemberDelete)
 	return mux
 }
 
@@ -154,11 +180,15 @@ func (s *Server) Close() {
 		se.s.Close()
 		delete(s.sessions, id)
 	}
+	for id, fe := range s.fleets {
+		fe.f.Close()
+		delete(s.fleets, id)
+	}
 }
 
-// EvictIdle closes and removes every session idle longer than the TTL,
-// returning how many were evicted. The janitor calls it periodically;
-// tests call it directly.
+// EvictIdle closes and removes every session and fleet idle longer than
+// the TTL, returning how many objects were evicted. The janitor calls it
+// periodically; tests call it directly.
 func (s *Server) EvictIdle() int {
 	deadline := s.cfg.Now().Add(-s.cfg.SessionTTL).UnixNano()
 	s.mu.Lock()
@@ -169,12 +199,23 @@ func (s *Server) EvictIdle() int {
 			delete(s.sessions, id)
 		}
 	}
+	var fleetVictims []*fleetEntry
+	for id, fe := range s.fleets {
+		if fe.lastUsed.Load() < deadline {
+			fleetVictims = append(fleetVictims, fe)
+			delete(s.fleets, id)
+		}
+	}
 	s.mu.Unlock()
 	for _, se := range victims {
 		se.s.Close()
 		s.m.sessionsEvicted.Add(1)
 	}
-	return len(victims)
+	for _, fe := range fleetVictims {
+		fe.f.Close()
+		s.m.fleetsEvicted.Add(1)
+	}
+	return len(victims) + len(fleetVictims)
 }
 
 // Bounds on client-controlled construction cost: the counts caps
@@ -275,7 +316,7 @@ func (s *Server) engine(cfg oic.Config) (*oic.Engine, error) {
 	return slot.eng, slot.err
 }
 
-func (s *Server) touch(se *session) { se.lastUsed.Store(s.cfg.Now().UnixNano()) }
+func (s *Server) touch(t interface{ stamp(int64) }) { t.stamp(s.cfg.Now().UnixNano()) }
 
 func (s *Server) lookup(id string) (*session, bool) {
 	s.mu.Lock()
@@ -290,11 +331,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	live := len(s.sessions)
 	engines := len(s.engines)
+	fleets := len(s.fleets)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":       true,
 		"sessions": live,
 		"engines":  engines,
+		"fleets":   fleets,
 	})
 }
 
@@ -302,9 +345,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	live := len(s.sessions)
 	engines := len(s.engines)
+	entries := make([]*fleetEntry, 0, len(s.fleets))
+	for _, fe := range s.fleets {
+		entries = append(entries, fe)
+	}
 	s.mu.Unlock()
+	// Snapshot fleet stats outside the server lock (Stats takes each
+	// fleet's own mutex) and in stable ID order for a diffable scrape.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	gauges := make([]fleetGauge, len(entries))
+	for i, fe := range entries {
+		gauges[i] = fleetGauge{id: fe.id, stats: fe.f.Stats()}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.render(w, live, engines)
+	s.m.render(w, live, engines, gauges)
 }
 
 func (s *Server) handlePlants(w http.ResponseWriter, _ *http.Request) {
@@ -500,10 +554,16 @@ func (e badRequestErr) Error() string { return string(e) }
 func statusAndCode(err error) (int, string) {
 	var br badRequestErr
 	switch {
-	case errors.Is(err, errNotFound), errors.Is(err, oic.ErrUnknownPlant), errors.Is(err, oic.ErrUnknownScenario):
+	case errors.Is(err, errNotFound), errors.Is(err, oic.ErrUnknownPlant),
+		errors.Is(err, oic.ErrUnknownScenario), errors.Is(err, oic.ErrUnknownMember):
 		return http.StatusNotFound, "not_found"
-	case errors.Is(err, errCapacity), errors.Is(err, errEngineCapacity):
+	case errors.Is(err, errCapacity), errors.Is(err, errEngineCapacity),
+		errors.Is(err, errFleetCapacity), errors.Is(err, oic.ErrFleetFull):
 		return http.StatusTooManyRequests, "capacity"
+	case errors.Is(err, oic.ErrFleetOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, oic.ErrFleetClosed):
+		return http.StatusGone, "fleet_closed"
 	case errors.Is(err, context.Canceled):
 		// Client went away mid-step: not a server error. 499 is nginx's
 		// "client closed request" convention.

@@ -2,8 +2,8 @@ package oic
 
 import (
 	"context"
-	"runtime"
-	"sync"
+
+	"oic/internal/sched"
 )
 
 // BatchStep is one unit of work for StepBatch: advance Session by one
@@ -22,44 +22,18 @@ type BatchStep struct {
 // but batches of distinct sessions are the intended shape.
 func (e *Engine) StepBatch(ctx context.Context, steps []BatchStep, workers int) []StepResult {
 	out := make([]StepResult, len(steps))
-	if len(steps) == 0 {
-		return out
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(steps) {
-		workers = len(steps)
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for g := 0; g < workers; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(steps) {
-					return
-				}
-				st := steps[i]
-				if st.Session == nil {
-					out[i].Error = "nil session"
-					continue
-				}
-				r, err := st.Session.Step(ctx, st.W)
-				if err != nil {
-					out[i] = StepResult{Error: err.Error()}
-					continue
-				}
-				out[i] = r
-			}
-		}()
-	}
-	wg.Wait()
+	sched.FanOut(len(steps), workers, func(i int) {
+		st := steps[i]
+		if st.Session == nil {
+			out[i].Error = "nil session"
+			return
+		}
+		r, err := st.Session.Step(ctx, st.W)
+		if err != nil {
+			out[i] = StepResult{Error: err.Error()}
+			return
+		}
+		out[i] = r
+	})
 	return out
 }

@@ -65,3 +65,91 @@ func BenchmarkStepBatch(b *testing.B) {
 	perStep := float64(b.Elapsed().Nanoseconds()) / float64(b.N*fleet)
 	b.ReportMetric(perStep, "ns/session-step")
 }
+
+// BenchmarkFleetTick is the acceptance benchmark of the opportunistic
+// fleet scheduler: 1000 ACC sessions advance one control period per
+// iteration on a budget sized for fewer than 100 worst-case κ computes
+// per tick. The engine runs the always-run policy — every session
+// requests κ every tick, the worst case for the scheduler — so the
+// budget's priority queue does all the work: the ~96 most urgent sessions
+// (lowest remaining S_k budget) compute, the rest shed into safe skips.
+// ns/op is the tick latency to compare against the plant's 100 ms control
+// period; reclaimed-ratio is the fraction of worst-case κ provisioning
+// the scheduler handed back.
+func BenchmarkFleetTick(b *testing.B) {
+	e := accEngine(b)
+	const sessions, budget, traceLen = 1000, 96, 128
+	f, err := e.NewFleet(FleetConfig{ComputeBudget: budget, MaxSessions: sessions})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	// Pre-draw a ring of per-tick disturbance maps so the measured loop
+	// only schedules and steps.
+	ids := make([]int, sessions)
+	traces := make([][][]float64, sessions)
+	for i := 0; i < sessions; i++ {
+		x0, w, err := e.DrawCase(int64(i+1), traceLen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ids[i], err = f.Admit(x0); err != nil {
+			b.Fatal(err)
+		}
+		traces[i] = w
+	}
+	ring := make([]map[int][]float64, traceLen)
+	for tk := 0; tk < traceLen; tk++ {
+		ws := make(map[int][]float64, sessions)
+		for i, id := range ids {
+			ws[id] = traces[i][tk]
+		}
+		ring[tk] = ws
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := f.Tick(ctx, ring[i%traceLen])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Violations != 0 {
+			b.Fatalf("tick %d: %d safety violations", i, rep.Violations)
+		}
+	}
+	b.StopTimer()
+	st := f.Stats()
+	b.ReportMetric(st.ReclaimedRatio, "reclaimed-ratio")
+	b.ReportMetric(st.Utilization, "budget-utilization")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*sessions), "ns/session-step")
+	if st.Violations != 0 {
+		b.Fatalf("%d violations across %d ticks", st.Violations, st.Ticks)
+	}
+}
+
+// BenchmarkFleetAdmission measures the admission-control path: XI
+// membership check plus a pooled-workspace acquire/release cycle.
+func BenchmarkFleetAdmission(b *testing.B) {
+	e := accEngine(b)
+	f, err := e.NewFleet(FleetConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	x0, _, err := e.DrawCase(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := f.Admit(x0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Evict(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -33,4 +33,17 @@ var (
 	// ErrBadDimension: a state or disturbance vector has the wrong length
 	// for the plant.
 	ErrBadDimension = errors.New("oic: wrong vector dimension")
+
+	// ErrFleetClosed: the fleet was closed and refuses every operation.
+	ErrFleetClosed = errors.New("oic: fleet closed")
+	// ErrFleetFull: admission control rejected the session — the fleet is
+	// at its MaxSessions capacity.
+	ErrFleetFull = errors.New("oic: fleet at session capacity")
+	// ErrFleetOverloaded: admission control rejected the session under
+	// backpressure — the last tick's monitor-forced computations alone
+	// met or exceeded the compute budget, so the fleet cannot absorb more
+	// mandatory work.
+	ErrFleetOverloaded = errors.New("oic: fleet overloaded (forced computes saturate the budget)")
+	// ErrUnknownMember: no fleet member has the given ID.
+	ErrUnknownMember = errors.New("oic: unknown fleet member")
 )

@@ -1,0 +1,470 @@
+package oic
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"oic/internal/core"
+	"oic/internal/mat"
+	"oic/internal/reach"
+	"oic/internal/sched"
+)
+
+// FleetConfig tunes a Fleet.
+type FleetConfig struct {
+	// ComputeBudget caps full κ computations per tick; ≤ 0 means
+	// unlimited (no shedding — the fleet behaves like StepBatch).
+	ComputeBudget int `json:"compute_budget,omitempty"`
+	// Workers bounds the goroutine pool for the decide and step phases;
+	// ≤ 0 means GOMAXPROCS. Per-session results are byte-identical for
+	// every choice.
+	Workers int `json:"workers,omitempty"`
+	// MaxSessions is the admission-control capacity; ≤ 0 means 4096.
+	MaxSessions int `json:"max_sessions,omitempty"`
+}
+
+// DefaultFleetSessions is the MaxSessions default.
+const DefaultFleetSessions = 4096
+
+// Fleet multiplexes many pooled sessions of one engine over a bounded
+// worker pool against a per-tick compute budget — the opportunistic fleet
+// scheduler (DESIGN.md §7). Each Tick runs every member's cheap
+// monitor+policy decision first, then executes the near-free skip lane and
+// a budget-bounded compute lane planned by internal/sched: forced
+// computations always run, optional ones fill the budget in order of
+// remaining skip budget (most urgent first), and the overflow is shed into
+// guaranteed-safe skips.
+//
+// A Fleet serializes its own method calls with an internal mutex;
+// parallelism lives inside Tick. Member trajectories are deterministic:
+// byte-identical across Workers settings for a fixed admission/disturbance
+// history and budget.
+type Fleet struct {
+	mu   sync.Mutex
+	eng  *Engine
+	cfg  FleetConfig
+	sb   *reach.SkipBudget
+	sch  *sched.Scheduler
+	zero mat.Vec // shared all-zero disturbance template
+
+	members []*fleetMember // admission order (ascending ID)
+	roster  []sched.Member // cached adapter view of members, same order
+	byID    map[int]int    // member ID → index into members
+	nextID  int
+	closed  bool
+
+	lastForced int // backpressure signal: forced computes last tick
+	tickTime   time.Duration
+	violBase   int // violations carried over from evicted members
+	stats      FleetStats
+}
+
+// fleetMember adapts one core session to sched.Member. The staged
+// disturbance w is written by Tick before scheduling and read by Step.
+type fleetMember struct {
+	f  *Fleet
+	id int
+	cs *core.Session
+	w  mat.Vec // owned buffer, re-staged every tick
+}
+
+// Decide implements sched.Member: the monitor level, the policy verdict
+// (consulted exactly as often as the plain session path would), and the
+// remaining S_k budget.
+func (m *fleetMember) Decide() sched.Decision {
+	e := m.f.eng
+	x := m.cs.StateView()
+	forced := e.fw.Monitor().Level(x) != core.InXPrime
+	compute := forced || e.fw.Policy.Decide(m.cs.Time(), x, m.cs.RecentWView())
+	return sched.Decision{Compute: compute, Forced: forced, Budget: m.f.sb.Remaining(x)}
+}
+
+// Step implements sched.Member. The monitor inside the core session still
+// overrides a skip whenever x ∉ X′, so even a (never planned) mis-shed
+// could not break Theorem 1.
+func (m *fleetMember) Step(compute bool) error {
+	_, err := m.cs.StepWithChoice(m.w, compute)
+	return err
+}
+
+// NewFleet creates an empty fleet over the engine. The S_k skip-budget
+// chain is compiled on first fleet creation and shared engine-wide.
+func (e *Engine) NewFleet(cfg FleetConfig) (*Fleet, error) {
+	sb, err := e.skipBudgetOracle()
+	if err != nil {
+		return nil, fmt.Errorf("oic: NewFleet: %w", err)
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultFleetSessions
+	}
+	return &Fleet{
+		eng:  e,
+		cfg:  cfg,
+		sb:   sb,
+		sch:  sched.New(sched.Config{ComputeBudget: cfg.ComputeBudget, Workers: cfg.Workers}),
+		zero: make(mat.Vec, e.NX()),
+		byID: map[int]int{},
+	}, nil
+}
+
+// Config returns the fleet's configuration (defaults applied).
+func (f *Fleet) Config() FleetConfig { return f.cfg }
+
+// Admit opens a new member session at x0 (which must lie inside XI) and
+// returns its fleet-unique ID. Admission control rejects with
+// ErrFleetFull at capacity and with ErrFleetOverloaded while the last
+// tick's forced computations saturate the compute budget — the
+// backpressure signal that keeps an oversubscribed fleet from accreting
+// sessions it can only serve by overrunning its budget.
+func (f *Fleet) Admit(x0 []float64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrFleetClosed
+	}
+	if len(f.members) >= f.cfg.MaxSessions {
+		f.stats.Rejected++
+		return 0, ErrFleetFull
+	}
+	if f.cfg.ComputeBudget > 0 && f.lastForced >= f.cfg.ComputeBudget {
+		f.stats.Rejected++
+		return 0, ErrFleetOverloaded
+	}
+	cs, err := f.eng.acquireCore(x0)
+	if err != nil {
+		f.stats.Rejected++
+		return 0, err
+	}
+	id := f.nextID
+	f.nextID++
+	m := &fleetMember{f: f, id: id, cs: cs, w: make(mat.Vec, f.eng.NX())}
+	f.byID[id] = len(f.members)
+	f.members = append(f.members, m)
+	f.roster = append(f.roster, m)
+	f.stats.Admitted++
+	return id, nil
+}
+
+// Evict closes the member and recycles its workspace.
+func (f *Fleet) Evict(id int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrFleetClosed
+	}
+	idx, ok := f.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownMember, id)
+	}
+	f.removeLocked(idx)
+	f.stats.Evicted++
+	return nil
+}
+
+// removeLocked releases the member at idx and compacts the roster,
+// preserving admission order.
+func (f *Fleet) removeLocked(idx int) {
+	m := f.members[idx]
+	f.violBase += m.cs.Result.ViolationsX
+	f.eng.releaseCore(m.cs)
+	delete(f.byID, m.id)
+	f.members = append(f.members[:idx], f.members[idx+1:]...)
+	f.roster = append(f.roster[:idx], f.roster[idx+1:]...)
+	for i := idx; i < len(f.members); i++ {
+		f.byID[f.members[i].id] = i
+	}
+}
+
+// FleetStepError is one member's terminal step failure within a tick.
+type FleetStepError struct {
+	ID    int    `json:"id"`
+	Error string `json:"error"`
+}
+
+// TickReport is the wire form of one executed fleet tick. The lane
+// counters (Skips/Computes/Forced/Shed) count *scheduled* work: a member
+// whose κ fails terminally mid-step still appears in its lane — the
+// computation was attempted and its cost paid — and additionally in
+// Errors.
+type TickReport struct {
+	Tick     int `json:"tick"`     // 0-based tick index
+	Sessions int `json:"sessions"` // members scheduled this tick
+	Budget   int `json:"compute_budget,omitempty"`
+
+	Skips    int `json:"skips"`    // policy-chosen zero-input steps
+	Computes int `json:"computes"` // full κ computations run (incl. any that failed, see Errors)
+	Forced   int `json:"forced"`   // monitor-mandated computes (⊆ computes)
+	Shed     int `json:"shed"`     // would-be computes converted to safe skips
+	Overrun  int `json:"overrun"`  // forced computes beyond the budget
+
+	// Utilization is computes / budget (0 when the budget is unlimited);
+	// > 1 reports a forced overrun.
+	Utilization float64 `json:"utilization"`
+	// ReclaimedRatio is (skips + shed) / sessions: the fraction of the
+	// fleet's worst-case κ provisioning this tick handed back — the
+	// system-level form of the paper's compute savings.
+	ReclaimedRatio float64 `json:"reclaimed_ratio"`
+	// ShedBudgetMin is the smallest remaining skip budget among shed
+	// members (0 when nothing was shed): the tick's safety headroom.
+	ShedBudgetMin int `json:"shed_budget_min,omitempty"`
+
+	// Violations is the fleet-cumulative count of states outside X
+	// (Theorem 1: stays 0).
+	Violations int `json:"violations"`
+	// Errors lists members whose step failed terminally; they were
+	// evicted from the fleet before Tick returned.
+	Errors []FleetStepError `json:"errors,omitempty"`
+
+	Elapsed time.Duration `json:"elapsed_ns"` // wall time of the whole tick
+}
+
+// Tick advances every member one control period. ws carries this tick's
+// measured disturbance per member ID; omitted members (and a nil map) get
+// the zero disturbance. A wrong-length disturbance or an unknown ID fails
+// the whole tick before anything steps. On context cancellation the tick
+// aborts without stepping any member.
+//
+// Members whose step fails terminally (a κ error — unreachable from
+// inside XI, but defended against) are reported in TickReport.Errors and
+// evicted; every other member's step is unaffected.
+func (f *Fleet) Tick(ctx context.Context, ws map[int][]float64) (TickReport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return TickReport{}, ErrFleetClosed
+	}
+	start := time.Now()
+
+	// Validate before staging so a bad request leaves the fleet unstepped.
+	for id, w := range ws {
+		if _, ok := f.byID[id]; !ok {
+			return TickReport{}, fmt.Errorf("%w: %d", ErrUnknownMember, id)
+		}
+		if w != nil && len(w) != f.eng.NX() {
+			return TickReport{}, fmt.Errorf("%w: w[%d] has dim %d, want %d",
+				ErrBadDimension, id, len(w), f.eng.NX())
+		}
+	}
+	for _, m := range f.members {
+		copy(m.w, f.zero)
+	}
+	for id, w := range ws {
+		if w != nil {
+			copy(f.members[f.byID[id]].w, w)
+		}
+	}
+
+	st, err := f.sch.Tick(ctx, f.roster)
+	if err != nil {
+		return TickReport{}, err
+	}
+
+	rep := TickReport{
+		Tick:     f.stats.Ticks,
+		Sessions: st.Members,
+		Budget:   f.cfg.ComputeBudget,
+		Skips:    st.Skips, Computes: st.Computes, Forced: st.Forced,
+		Shed: st.Shed, Overrun: st.Overrun, ShedBudgetMin: st.ShedBudgetMin,
+	}
+	if f.cfg.ComputeBudget > 0 {
+		rep.Utilization = float64(st.Computes) / float64(f.cfg.ComputeBudget)
+	}
+	if st.Members > 0 {
+		rep.ReclaimedRatio = float64(st.Skips+st.Shed) / float64(st.Members)
+	}
+
+	// Evict members whose step failed terminally, in index order so the
+	// outcome is deterministic.
+	if st.Errors > 0 {
+		errs := f.sch.Errs()
+		for i := len(f.members) - 1; i >= 0; i-- {
+			if errs[i] == nil {
+				continue
+			}
+			rep.Errors = append(rep.Errors, FleetStepError{ID: f.members[i].id, Error: errs[i].Error()})
+			f.removeLocked(i)
+			f.stats.Evicted++
+		}
+		// Reverse to ascending-ID order (built walking indices downward).
+		for l, r := 0, len(rep.Errors)-1; l < r; l, r = l+1, r-1 {
+			rep.Errors[l], rep.Errors[r] = rep.Errors[r], rep.Errors[l]
+		}
+	}
+	rep.Violations = f.violationsLocked()
+
+	f.lastForced = st.Forced
+	f.stats.Ticks++
+	f.stats.Steps += int64(st.Members)
+	f.stats.Skips += int64(st.Skips)
+	f.stats.Computes += int64(st.Computes)
+	f.stats.Forced += int64(st.Forced)
+	f.stats.Shed += int64(st.Shed)
+	f.stats.Overrun += int64(st.Overrun)
+	rep.Elapsed = time.Since(start)
+	f.tickTime += rep.Elapsed
+	return rep, nil
+}
+
+func (f *Fleet) violationsLocked() int {
+	v := f.violBase
+	for _, m := range f.members {
+		v += m.cs.Result.ViolationsX
+	}
+	return v
+}
+
+// Pressure returns the backpressure signal admission control uses: the
+// fraction of the compute budget the last tick's monitor-forced
+// computations consumed (0 with an unlimited budget; ≥ 1 means saturated
+// and Admit is rejecting).
+func (f *Fleet) Pressure() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.ComputeBudget <= 0 {
+		return 0
+	}
+	return float64(f.lastForced) / float64(f.cfg.ComputeBudget)
+}
+
+// Size returns the number of live members.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.members)
+}
+
+// IDs returns the live member IDs in admission (ascending) order.
+func (f *Fleet) IDs() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, len(f.members))
+	for i, m := range f.members {
+		out[i] = m.id
+	}
+	return out
+}
+
+// FleetMemberInfo is a wire snapshot of one fleet member.
+type FleetMemberInfo struct {
+	ID         int       `json:"id"`
+	T          int       `json:"t"`
+	X          []float64 `json:"x"`
+	Level      string    `json:"level"`
+	SkipBudget int       `json:"skip_budget"` // largest k with x ∈ S_k
+	Skips      int       `json:"skips"`
+	Runs       int       `json:"runs"`
+	Forced     int       `json:"forced"`
+	Violations int       `json:"violations"`
+	Energy     float64   `json:"energy"`
+}
+
+// Member returns a snapshot of the member with the given ID.
+func (f *Fleet) Member(id int) (FleetMemberInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return FleetMemberInfo{}, ErrFleetClosed
+	}
+	idx, ok := f.byID[id]
+	if !ok {
+		return FleetMemberInfo{}, fmt.Errorf("%w: %d", ErrUnknownMember, id)
+	}
+	m := f.members[idx]
+	x := m.cs.StateView()
+	res := m.cs.Result
+	return FleetMemberInfo{
+		ID: id, T: m.cs.Time(),
+		X:          append([]float64(nil), x...),
+		Level:      f.eng.fw.Monitor().Level(x).String(),
+		SkipBudget: f.sb.Remaining(x),
+		Skips:      res.Skips, Runs: res.Runs, Forced: res.Forced,
+		Violations: res.ViolationsX,
+		Energy:     res.Energy,
+	}, nil
+}
+
+// FleetStats is the fleet's cumulative wire snapshot.
+type FleetStats struct {
+	Plant       string `json:"plant"`
+	Scenario    string `json:"scenario"`
+	Policy      string `json:"policy"`
+	Sessions    int    `json:"sessions"`
+	MaxSessions int    `json:"max_sessions"`
+	Budget      int    `json:"compute_budget,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+
+	Ticks    int   `json:"ticks"`
+	Steps    int64 `json:"steps"`
+	Skips    int64 `json:"skips"`
+	Computes int64 `json:"computes"`
+	Forced   int64 `json:"forced"`
+	Shed     int64 `json:"shed"`
+	Overrun  int64 `json:"overrun"`
+
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Evicted  int64 `json:"evicted"`
+
+	Violations int `json:"violations"`
+
+	// Utilization is mean computes per tick over the budget; Reclaimed-
+	// Ratio is (skips + shed) / steps — both 0 until the first tick.
+	Utilization    float64 `json:"utilization"`
+	ReclaimedRatio float64 `json:"reclaimed_ratio"`
+	// Pressure mirrors Fleet.Pressure at snapshot time.
+	Pressure float64 `json:"pressure"`
+
+	TickTime time.Duration `json:"tick_time_ns"` // cumulative wall time inside Tick
+	Closed   bool          `json:"closed"`
+}
+
+// Stats returns the cumulative fleet statistics.
+func (f *Fleet) Stats() FleetStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.statsLocked()
+}
+
+func (f *Fleet) statsLocked() FleetStats {
+	st := f.stats
+	st.Plant = f.eng.PlantName()
+	st.Scenario = f.eng.ScenarioID()
+	st.Policy = f.eng.PolicyName()
+	st.Sessions = len(f.members)
+	st.MaxSessions = f.cfg.MaxSessions
+	st.Budget = f.cfg.ComputeBudget
+	st.Workers = f.cfg.Workers
+	st.Violations = f.violationsLocked()
+	if f.cfg.ComputeBudget > 0 && st.Ticks > 0 {
+		st.Utilization = float64(st.Computes) / float64(int64(st.Ticks)*int64(f.cfg.ComputeBudget))
+		st.Pressure = float64(f.lastForced) / float64(f.cfg.ComputeBudget)
+	}
+	if st.Steps > 0 {
+		st.ReclaimedRatio = float64(st.Skips+st.Shed) / float64(st.Steps)
+	}
+	st.TickTime = f.tickTime
+	st.Closed = f.closed
+	return st
+}
+
+// Close evicts every member, recycles their workspaces, and marks the
+// fleet terminal. Close is idempotent; the error return keeps the
+// io.Closer shape.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	for _, m := range f.members {
+		f.violBase += m.cs.Result.ViolationsX
+		f.eng.releaseCore(m.cs)
+	}
+	f.members = nil
+	f.roster = nil
+	f.byID = map[int]int{}
+	f.closed = true
+	return nil
+}

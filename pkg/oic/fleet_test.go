@@ -1,0 +1,369 @@
+package oic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// fleetCase draws a deterministic per-member episode: x0 from X′ plus a
+// ticks-long disturbance trace.
+func fleetCase(t testing.TB, e *Engine, seed int64, ticks int) ([]float64, [][]float64) {
+	t.Helper()
+	x0, w, err := e.DrawCase(seed, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x0, w
+}
+
+// runFleet admits n members (seeded episodes 1..n) and ticks the fleet to
+// completion, returning per-member per-tick state fingerprints and the
+// final stats. Fails the test on any step error or safety violation.
+func runFleet(t *testing.T, e *Engine, cfg FleetConfig, n, ticks int) ([]string, FleetStats) {
+	t.Helper()
+	f, err := e.NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ids := make([]int, n)
+	traces := make([][][]float64, n)
+	for i := 0; i < n; i++ {
+		x0, w := fleetCase(t, e, int64(i+1), ticks)
+		id, err := f.Admit(x0)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		ids[i] = id
+		traces[i] = w
+	}
+	fp := make([]string, n)
+	ctx := context.Background()
+	for tick := 0; tick < ticks; tick++ {
+		ws := make(map[int][]float64, n)
+		for i, id := range ids {
+			ws[id] = traces[i][tick]
+		}
+		rep, err := f.Tick(ctx, ws)
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if len(rep.Errors) != 0 {
+			t.Fatalf("tick %d: step errors %v", tick, rep.Errors)
+		}
+		if rep.Violations != 0 {
+			t.Fatalf("tick %d: %d safety violations", tick, rep.Violations)
+		}
+		for i, id := range ids {
+			mi, err := f.Member(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp[i] += fmt.Sprintf("%x;", mi.X)
+		}
+	}
+	return fp, f.Stats()
+}
+
+// TestFleetDeterministicAcrossWorkers is the acceptance property: for a
+// fixed budget, every member's trajectory is byte-identical for any
+// worker-pool size — scheduling is a performance knob, never a semantics
+// knob. Checked at an unlimited and at a tight budget.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	e := accEngine(t)
+	const n, ticks = 48, 30
+	for _, budget := range []int{0, 6} {
+		var ref []string
+		var refStats FleetStats
+		for _, workers := range []int{1, 3, 16} {
+			fp, st := runFleet(t, e, FleetConfig{ComputeBudget: budget, Workers: workers}, n, ticks)
+			if ref == nil {
+				ref, refStats = fp, st
+				continue
+			}
+			for i := range fp {
+				if fp[i] != ref[i] {
+					t.Fatalf("budget=%d: member %d trajectory differs between workers=1 and workers=%d",
+						budget, i, workers)
+				}
+			}
+			if st.Computes != refStats.Computes || st.Skips != refStats.Skips ||
+				st.Shed != refStats.Shed || st.Forced != refStats.Forced {
+				t.Fatalf("budget=%d workers=%d: counters differ: %+v vs %+v",
+					budget, workers, st, refStats)
+			}
+		}
+		if budget > 0 && refStats.Shed == 0 {
+			t.Fatalf("budget=%d: expected shedding under an always-run policy, got none", budget)
+		}
+	}
+}
+
+// TestFleetUnlimitedBudgetMatchesSessionPath pins the fleet path to the
+// plain facade path: with no budget constraint, a fleet member's
+// trajectory equals Session.StepMany over the same episode.
+func TestFleetUnlimitedBudgetMatchesSessionPath(t *testing.T) {
+	e := accEngine(t)
+	const n, ticks = 12, 25
+	f, err := e.NewFleet(FleetConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ids := make([]int, n)
+	traces := make([][][]float64, n)
+	x0s := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		x0s[i], traces[i] = fleetCase(t, e, int64(i+1), ticks)
+		if ids[i], err = f.Admit(x0s[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fleetStates := make([][]string, n)
+	ctx := context.Background()
+	for tick := 0; tick < ticks; tick++ {
+		ws := map[int][]float64{}
+		for i, id := range ids {
+			ws[id] = traces[i][tick]
+		}
+		if _, err := f.Tick(ctx, ws); err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			mi, err := f.Member(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fleetStates[i] = append(fleetStates[i], fmt.Sprintf("%x", mi.X))
+		}
+	}
+	for i := 0; i < n; i++ {
+		plain := trajectory(t, e, x0s[i], traces[i])
+		for tick, r := range plain {
+			if got := fleetStates[i][tick]; got != fmt.Sprintf("%x", r.X) {
+				t.Fatalf("member %d diverges from session path at tick %d", i, tick)
+			}
+		}
+	}
+}
+
+// TestFleetOverloadSafety is the 10×-admission-pressure acceptance test:
+// admissions beyond capacity are rejected cleanly, and the members that
+// were admitted survive a starved compute budget with zero safety
+// violations and zero ErrUnsafe — overload degrades into shedding, never
+// into unsafety.
+func TestFleetOverloadSafety(t *testing.T) {
+	e := accEngine(t)
+	const capacity, attempts, ticks = 40, 400, 50
+	f, err := e.NewFleet(FleetConfig{ComputeBudget: 4, MaxSessions: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var admitted []int
+	traces := map[int][][]float64{}
+	var full int
+	for i := 0; i < attempts; i++ {
+		x0, w := fleetCase(t, e, int64(i+1), ticks)
+		id, err := f.Admit(x0)
+		switch {
+		case err == nil:
+			admitted = append(admitted, id)
+			traces[id] = w
+		case errors.Is(err, ErrFleetFull):
+			full++
+		default:
+			t.Fatalf("admit %d: unexpected error %v", i, err)
+		}
+	}
+	if len(admitted) != capacity || full != attempts-capacity {
+		t.Fatalf("admitted %d (want %d), rejected-full %d (want %d)",
+			len(admitted), capacity, full, attempts-capacity)
+	}
+
+	ctx := context.Background()
+	var shed, computes int64
+	for tick := 0; tick < ticks; tick++ {
+		ws := map[int][]float64{}
+		for _, id := range admitted {
+			ws[id] = traces[id][tick]
+		}
+		rep, err := f.Tick(ctx, ws)
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		for _, se := range rep.Errors {
+			t.Errorf("tick %d: member %d failed: %s", tick, se.ID, se.Error)
+		}
+		if rep.Violations != 0 {
+			t.Fatalf("tick %d: %d violations of X (Theorem 1 requires 0)", tick, rep.Violations)
+		}
+		if rep.Computes > rep.Budget && rep.Overrun != rep.Computes-rep.Budget {
+			t.Fatalf("tick %d: computes %d over budget %d without matching overrun %d",
+				tick, rep.Computes, rep.Budget, rep.Overrun)
+		}
+		shed += int64(rep.Shed)
+		computes += int64(rep.Computes)
+	}
+	st := f.Stats()
+	if st.Violations != 0 {
+		t.Fatalf("final violations %d, want 0", st.Violations)
+	}
+	if shed == 0 {
+		t.Fatal("expected budget-forced shedding under 10× pressure, got none")
+	}
+	if st.ReclaimedRatio <= 0.5 {
+		t.Fatalf("reclaimed ratio %.2f, want > 0.5 under a starved budget", st.ReclaimedRatio)
+	}
+	if st.Rejected != int64(attempts-capacity) {
+		t.Fatalf("stats.Rejected = %d, want %d", st.Rejected, attempts-capacity)
+	}
+}
+
+// TestFleetBackpressure covers the overload admission branch: when the
+// last tick's forced computations saturate the budget, Admit rejects with
+// ErrFleetOverloaded until pressure drops.
+func TestFleetBackpressure(t *testing.T) {
+	e := accEngine(t)
+	f, err := e.NewFleet(FleetConfig{ComputeBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x0, _ := fleetCase(t, e, 1, 1)
+	if _, err := f.Admit(x0); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	f.lastForced = 2 // simulate a saturated tick
+	f.mu.Unlock()
+	if _, err := f.Admit(x0); !errors.Is(err, ErrFleetOverloaded) {
+		t.Fatalf("Admit under saturation: %v, want ErrFleetOverloaded", err)
+	}
+	if p := f.Pressure(); p != 1 {
+		t.Fatalf("Pressure() = %v, want 1", p)
+	}
+	f.mu.Lock()
+	f.lastForced = 0
+	f.mu.Unlock()
+	if _, err := f.Admit(x0); err != nil {
+		t.Fatalf("Admit after pressure drop: %v", err)
+	}
+}
+
+// TestFleetLifecycleErrors walks the sentinel surface: bad dimensions,
+// unknown members, eviction, and closed-fleet behavior.
+func TestFleetLifecycleErrors(t *testing.T) {
+	e := accEngine(t)
+	f, err := e.NewFleet(FleetConfig{MaxSessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Admit([]float64{1}); !errors.Is(err, ErrBadDimension) {
+		t.Fatalf("short x0: %v, want ErrBadDimension", err)
+	}
+	x0, _ := fleetCase(t, e, 1, 1)
+	id, err := f.Admit(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Tick(context.Background(), map[int][]float64{99: nil}); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("unknown ws id: %v, want ErrUnknownMember", err)
+	}
+	if _, err := f.Tick(context.Background(), map[int][]float64{id: {1}}); !errors.Is(err, ErrBadDimension) {
+		t.Fatalf("short w: %v, want ErrBadDimension", err)
+	}
+	if _, err := f.Member(99); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("unknown member: %v, want ErrUnknownMember", err)
+	}
+	if err := f.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Evict(id); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("double evict: %v, want ErrUnknownMember", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("idempotent close: %v", err)
+	}
+	if _, err := f.Admit(x0); !errors.Is(err, ErrFleetClosed) {
+		t.Fatalf("admit after close: %v, want ErrFleetClosed", err)
+	}
+	if _, err := f.Tick(context.Background(), nil); !errors.Is(err, ErrFleetClosed) {
+		t.Fatalf("tick after close: %v, want ErrFleetClosed", err)
+	}
+	if st := f.Stats(); !st.Closed || st.Sessions != 0 {
+		t.Fatalf("closed stats: %+v", st)
+	}
+}
+
+// TestEngineSkipBudget exercises the public budget query: states sampled
+// from X′ carry budget ≥ 1, the chain depth bounds every answer, and the
+// dimension check holds.
+func TestEngineSkipBudget(t *testing.T) {
+	e := accEngine(t)
+	max, err := e.MaxSkipBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max < 1 {
+		t.Fatalf("MaxSkipBudget = %d, want ≥ 1", max)
+	}
+	xs, err := e.SampleInitialStates(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		b, err := e.SkipBudget(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < 1 || b > max {
+			t.Fatalf("SkipBudget(%v) = %d outside [1, %d] for a state in X′", x, b, max)
+		}
+	}
+	if _, err := e.SkipBudget([]float64{0}); !errors.Is(err, ErrBadDimension) {
+		t.Fatalf("short x: %v, want ErrBadDimension", err)
+	}
+}
+
+// TestFleetMemberInfo checks the snapshot fields a scheduler client reads.
+func TestFleetMemberInfo(t *testing.T) {
+	e := accEngine(t)
+	f, err := e.NewFleet(FleetConfig{ComputeBudget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x0, w := fleetCase(t, e, 5, 10)
+	id, err := f.Admit(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 10; tick++ {
+		if _, err := f.Tick(context.Background(), map[int][]float64{id: w[tick]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mi, err := f.Member(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.T != 10 || mi.ID != id {
+		t.Fatalf("member info: %+v", mi)
+	}
+	if mi.Skips+mi.Runs != 10 {
+		t.Fatalf("skips %d + runs %d ≠ 10", mi.Skips, mi.Runs)
+	}
+	if mi.Violations != 0 {
+		t.Fatalf("violations %d, want 0", mi.Violations)
+	}
+	if got := f.IDs(); len(got) != 1 || got[0] != id {
+		t.Fatalf("IDs() = %v", got)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"oic/internal/lti"
 	"oic/internal/mat"
 	"oic/internal/plant"
+	"oic/internal/reach"
 	"oic/internal/rl"
 )
 
@@ -88,7 +89,19 @@ type Engine struct {
 	zeroW    []float64 // shared zero disturbance, never written
 
 	pool sync.Pool // recycled *core.Session workspaces
+
+	// Skip-budget oracle over the S_k chain, built lazily on first use
+	// (NewFleet, SkipBudget): most engines never pay for it.
+	sbOnce sync.Once
+	sb     *reach.SkipBudget
+	sbErr  error
 }
+
+// maxSkipChain is the S_k chain depth the engine's skip-budget oracle
+// precomputes: budgets larger than this report as maxSkipChain. Eight
+// covers every scheduling decision the fleet makes (priority ordering and
+// shed headroom saturate well before that).
+const maxSkipChain = 8
 
 // NewEngine resolves the plant and scenario from the registry, compiles
 // the scenario's safety sets and controller program, and (for PolicyDRL)
@@ -294,6 +307,78 @@ func (e *Engine) resolvePolicy(name string) (core.SkipPolicy, error) {
 		return e.policy, nil
 	}
 	return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, name)
+}
+
+// skipBudgetOracle lazily builds the engine's S_k-chain oracle (shared,
+// immutable, concurrent-safe).
+func (e *Engine) skipBudgetOracle() (*reach.SkipBudget, error) {
+	e.sbOnce.Do(func() {
+		e.sb, e.sbErr = reach.NewSkipBudget(e.inst.Sets().XI, e.inst.System(), maxSkipChain)
+		if e.sbErr != nil {
+			e.sbErr = fmt.Errorf("oic: computing skip-budget chain: %w", e.sbErr)
+		}
+	})
+	return e.sb, e.sbErr
+}
+
+// SkipBudget returns the remaining consecutive-skip budget of x: the
+// largest k ≤ MaxSkipBudget with x ∈ S_k, i.e. how many consecutive
+// zero-input control periods the state is certified to absorb while
+// staying inside XI under every admissible disturbance. 0 means x ∉ X′ —
+// the monitor would force κ at the next step. The S_k chain is compiled on
+// first call and cached on the engine.
+func (e *Engine) SkipBudget(x []float64) (int, error) {
+	if len(x) != e.NX() {
+		return 0, fmt.Errorf("%w: x has dim %d, want %d", ErrBadDimension, len(x), e.NX())
+	}
+	sb, err := e.skipBudgetOracle()
+	if err != nil {
+		return 0, err
+	}
+	return sb.Remaining(mat.Vec(x)), nil
+}
+
+// MaxSkipBudget returns the depth of the engine's compiled S_k chain — the
+// largest budget SkipBudget ever reports.
+func (e *Engine) MaxSkipBudget() (int, error) {
+	sb, err := e.skipBudgetOracle()
+	if err != nil {
+		return 0, err
+	}
+	return sb.Max(), nil
+}
+
+// acquireCore hands out a recording-off core session at x0: a pooled
+// workspace reset to cold when one is available, a fresh one otherwise.
+// Shared by NewSession and Fleet.Admit.
+func (e *Engine) acquireCore(x0 []float64) (*core.Session, error) {
+	if len(x0) != e.NX() {
+		return nil, fmt.Errorf("%w: x0 has dim %d, want %d", ErrBadDimension, len(x0), e.NX())
+	}
+	var cs *core.Session
+	if v := e.pool.Get(); v != nil {
+		cs = v.(*core.Session)
+		if err := cs.Reset(mat.Vec(x0)); err != nil {
+			e.pool.Put(cs) // the workspace is fine; only x0 was rejected
+			return nil, err
+		}
+	} else {
+		var err error
+		cs, err = e.fw.NewSession(mat.Vec(x0))
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Serving sessions are long-lived: keep aggregate counters only, not
+	// an unbounded per-step record trail.
+	cs.SetRecording(false)
+	return cs, nil
+}
+
+// releaseCore terminates a core session and recycles its workspace.
+func (e *Engine) releaseCore(cs *core.Session) {
+	cs.Close()
+	e.pool.Put(cs)
 }
 
 // Level classifies a state against the engine's nested safety sets,

@@ -28,26 +28,10 @@ type Session struct {
 // NewSession opens a session at x0, which must lie inside XI. The
 // workspace comes from the engine's pool when one is available.
 func (e *Engine) NewSession(x0 []float64) (*Session, error) {
-	if len(x0) != e.NX() {
-		return nil, fmt.Errorf("%w: x0 has dim %d, want %d", ErrBadDimension, len(x0), e.NX())
+	cs, err := e.acquireCore(x0)
+	if err != nil {
+		return nil, err
 	}
-	var cs *core.Session
-	if v := e.pool.Get(); v != nil {
-		cs = v.(*core.Session)
-		if err := cs.Reset(mat.Vec(x0)); err != nil {
-			e.pool.Put(cs) // the workspace is fine; only x0 was rejected
-			return nil, err
-		}
-	} else {
-		var err error
-		cs, err = e.fw.NewSession(mat.Vec(x0))
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Serving sessions are long-lived: keep aggregate counters only, not
-	// an unbounded per-step record trail.
-	cs.SetRecording(false)
 	return &Session{eng: e, cs: cs}, nil
 }
 
@@ -173,7 +157,6 @@ func (s *Session) Close() error {
 	s.closed = true
 	cs := s.cs
 	s.cs = nil
-	cs.Close()
-	s.eng.pool.Put(cs)
+	s.eng.releaseCore(cs)
 	return nil
 }

@@ -82,6 +82,58 @@ type SessionInfo struct {
 	Closed     bool      `json:"closed"`
 }
 
+// CreateFleetRequest opens a fleet: POST /v1/fleets. The engine fields
+// (Plant … Train) match CreateSessionRequest; the scheduling fields
+// configure the fleet. Size members are admitted immediately with initial
+// states sampled from X′ under Seed (0 means start empty and admit via
+// POST /v1/fleets/{id}/sessions).
+type CreateFleetRequest struct {
+	Plant    string      `json:"plant"`
+	Scenario string      `json:"scenario,omitempty"`
+	Policy   string      `json:"policy,omitempty"`
+	Memory   int         `json:"memory,omitempty"`
+	Train    TrainConfig `json:"train,omitempty"`
+
+	ComputeBudget int   `json:"compute_budget,omitempty"`
+	Workers       int   `json:"workers,omitempty"`
+	MaxSessions   int   `json:"max_sessions,omitempty"`
+	Size          int   `json:"size,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+}
+
+// FleetInfo is a fleet snapshot: create/GET/DELETE responses.
+type FleetInfo struct {
+	ID string `json:"id,omitempty"` // assigned by the server
+	FleetStats
+	// MaxSkipBudget is the engine's compiled S_k chain depth.
+	MaxSkipBudget int `json:"max_skip_budget,omitempty"`
+}
+
+// FleetTickRequest advances a fleet: POST /v1/fleets/{id}/tick. Ticks ≤ 1
+// runs one tick with the given per-member disturbances (member ID → w,
+// omitted members get zero); Ticks > 1 runs that many zero-disturbance
+// ticks and requires WS to be empty.
+type FleetTickRequest struct {
+	Ticks int               `json:"ticks,omitempty"`
+	WS    map[int][]float64 `json:"ws,omitempty"`
+}
+
+// FleetTickResponse carries one TickReport per executed tick. When a
+// multi-tick request fails partway, Reports holds the ticks that ran and
+// Error carries the terminal failure (the HTTP status reflects it too),
+// mirroring the batched-step convention.
+type FleetTickResponse struct {
+	Reports []TickReport `json:"reports"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// FleetAdmitRequest admits one member: POST /v1/fleets/{id}/sessions. X0
+// may be omitted, in which case the server samples from X′ with Seed.
+type FleetAdmitRequest struct {
+	X0   []float64 `json:"x0,omitempty"`
+	Seed int64     `json:"seed,omitempty"`
+}
+
 // ErrorResponse is the uniform error payload of the oicd server.
 type ErrorResponse struct {
 	Error string `json:"error"`
