@@ -12,7 +12,12 @@
 //	oic budget  — the multi-step strengthened sets S_k (weakly-hard extension)
 //	oic fleet   — sweep fleet sizes against a per-tick compute budget and
 //	              report the achievable sessions-per-core curve (DESIGN.md §7)
-//	oic all     — everything above except fleet
+//	oic record  — run one seeded episode with tracing on and write the
+//	              trace file (-out; canonical binary, or JSON with -trace-json)
+//	oic replay  — replay a recorded trace file (-trace) under the same or a
+//	              substituted policy (-replay-policy) / compute budget
+//	              (-replay-budget) and report the diff (DESIGN.md §8)
+//	oic all     — everything above except fleet, record, and replay
 //
 // Every experiment is seeded and deterministic for a fixed -seed and
 // -workers-independent. Use -csv to additionally emit raw per-case data.
@@ -62,9 +67,17 @@ func main() {
 	fleetTicks := fs.Int("ticks", 50, "fleet: ticks per fleet run")
 	fleetSizes := fs.String("fleet-sizes", "250,500,1000,2000", "fleet: comma-separated fleet sizes to sweep")
 	deadline := fs.Duration("deadline", 100*time.Millisecond, "fleet: real-time tick deadline (the plant's control period)")
+	policy := fs.String("policy", oic.PolicyBangBang, "record: skipping policy (always-run, bang-bang, drl)")
+	scenario := fs.String("scenario", "", "record: scenario ID (empty = plant headline)")
+	outFile := fs.String("out", "", "record: trace output file")
+	traceJSON := fs.Bool("trace-json", false, "record: write the trace as JSON instead of canonical binary")
+	traceFile := fs.String("trace", "", "replay: recorded trace file (binary or JSON, sniffed)")
+	replayPolicy := fs.String("replay-policy", "", "replay: substitute policy (empty = the trace's)")
+	replayBudget := fs.Int("replay-budget", 0, "replay: cap total κ computes (0 = unlimited; forced computes always run)")
+	auditFlag := fs.Bool("audit", true, "replay: re-verify the recorded trace with the offline auditor")
 
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|fleet|all [flags]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|fleet|record|replay|all [flags]\n\n")
 		fs.PrintDefaults()
 	}
 	// Parse flags first, then take the first positional argument as the
@@ -108,6 +121,31 @@ func main() {
 			return
 		}
 		listPlants()
+		return
+	}
+
+	if cmd == "replay" {
+		// Replay needs no -plant: the trace fingerprints its own engine.
+		if *traceFile == "" {
+			fmt.Fprintln(os.Stderr, "oic: replay requires -trace FILE")
+			os.Exit(2)
+		}
+		tr, err := loadTrace(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oic: %v\n", err)
+			os.Exit(1)
+		}
+		rep, err := oic.Replay(tr, oic.ReplayOptions{
+			Policy: *replayPolicy, ComputeBudget: *replayBudget, Audit: *auditFlag,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oic: replay: %v\n", err)
+			os.Exit(1)
+		}
+		if err := emit(rep, renderReplay(tr, rep)); err != nil {
+			fmt.Fprintf(os.Stderr, "oic: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -403,6 +441,65 @@ func main() {
 		}, b.String())
 	}
 
+	// doRecord runs one seeded episode with tracing on and writes the
+	// trace file — the producer side of the replay service, and the same
+	// recipe the golden-trace corpus uses.
+	doRecord := func() error {
+		if *outFile == "" {
+			return fmt.Errorf("record requires -out FILE")
+		}
+		cfg := oic.Config{Plant: p.Name(), Scenario: *scenario, Policy: *policy}
+		if *policy == oic.PolicyDRL {
+			cfg.Train = oic.TrainConfig{Episodes: *train}
+		}
+		eng, err := oic.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		n := *steps
+		if n <= 0 {
+			n = eng.EpisodeSteps()
+		}
+		x0, w, err := eng.DrawCase(*seed, n)
+		if err != nil {
+			return err
+		}
+		s, err := eng.NewSession(x0)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		if err := s.StartTrace(0); err != nil {
+			return err
+		}
+		if _, err := s.StepMany(context.Background(), w); err != nil {
+			return err
+		}
+		tr, err := s.Trace()
+		if err != nil {
+			return err
+		}
+		var b []byte
+		if *traceJSON {
+			if b, err = json.MarshalIndent(tr, "", " "); err != nil {
+				return err
+			}
+		} else if b, err = oic.EncodeTrace(tr); err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outFile, b, 0o644); err != nil {
+			return err
+		}
+		info := s.Info()
+		return emit(map[string]any{
+			"kind": "record", "plant": p.Name(), "policy": eng.PolicyName(),
+			"scenario": eng.ScenarioID(), "steps": tr.Len(), "bytes": len(b),
+			"skips": info.Skips, "runs": info.Runs, "energy": info.Energy,
+			"file": *outFile,
+		}, fmt.Sprintf("recorded %s/%s under %s: %d steps (%d skips, %d runs, energy %.4g) → %s (%d bytes)\n",
+			p.Name(), eng.ScenarioID(), eng.PolicyName(), tr.Len(), info.Skips, info.Runs, info.Energy, *outFile, len(b)))
+	}
+
 	switch cmd {
 	case "fig4":
 		run("fig4", doFig4)
@@ -420,6 +517,8 @@ func main() {
 		run("budget", doBudget)
 	case "fleet":
 		run("fleet", doFleetSweep)
+	case "record":
+		run("record", doRecord)
 	case "all":
 		run("sets", doSets)
 		run("budget", doBudget)
@@ -434,6 +533,68 @@ func main() {
 		fs.Usage()
 		os.Exit(2)
 	}
+}
+
+// loadTrace reads a trace file in any encoding a user plausibly saved:
+// the canonical binary form (sniffed by its "OICT" magic), a bare JSON
+// trace (oic record -trace-json), or the server's GET .../trace response
+// (the {"id", "trace"} wrapper, saved straight from curl).
+func loadTrace(path string) (*oic.Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) >= 4 && string(b[:4]) == "OICT" {
+		return oic.DecodeTrace(b)
+	}
+	var wrapped oic.TraceResponse
+	if err := json.Unmarshal(b, &wrapped); err != nil {
+		return nil, fmt.Errorf("%s: not a binary trace and not JSON: %w", path, err)
+	}
+	tr := wrapped.Trace
+	if tr == nil {
+		tr = &oic.Trace{}
+		if err := json.Unmarshal(b, tr); err != nil {
+			return nil, fmt.Errorf("%s: not a binary trace and not JSON: %w", path, err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// renderReplay formats a replay report for terminals.
+func renderReplay(tr *oic.Trace, rep *oic.ReplayReport) string {
+	var b strings.Builder
+	d := rep.Diff
+	fmt.Fprintf(&b, "replay of %s/%s episode (%d steps, recorded under %s)\n",
+		rep.Plant, rep.Scenario, tr.Len(), rep.RecordedPolicy)
+	fmt.Fprintf(&b, "replayed under %s", rep.ReplayedPolicy)
+	if rep.ComputeBudget > 0 {
+		fmt.Fprintf(&b, ", compute budget %d (%d shed)", rep.ComputeBudget, rep.Shed)
+	}
+	fmt.Fprintln(&b)
+	if d.Identical {
+		fmt.Fprintf(&b, "conformance: IDENTICAL — decisions and states reproduce byte-for-byte\n")
+	} else {
+		fmt.Fprintf(&b, "diverged: %d decision flips (first at %d), states diverge at step %d, max L∞ %.4g\n",
+			d.DecisionFlips, d.FirstFlip, d.DivergeStep, d.MaxStateDivergence)
+	}
+	fmt.Fprintf(&b, "computes: %d → %d (forced %d → %d)\n", d.ComputesA, d.ComputesB, d.ForcedA, d.ForcedB)
+	fmt.Fprintf(&b, "energy:   %.6g → %.6g (Δ %+.4g)\n", d.EnergyA, d.EnergyB, d.EnergyB-d.EnergyA)
+	fmt.Fprintf(&b, "safety:   XI margin %.4g → %.4g, violations %d\n",
+		rep.SafetyMarginRecorded, rep.SafetyMarginReplayed, rep.Violations)
+	if rep.Audit != nil {
+		if rep.Audit.Clean {
+			fmt.Fprintf(&b, "audit:    recorded trace clean over %d steps\n", rep.Audit.Steps)
+		} else {
+			fmt.Fprintf(&b, "audit:    %d findings on the recorded trace (first: step %d %s: %s)\n",
+				len(rep.Audit.Findings), rep.Audit.Findings[0].Step, rep.Audit.Findings[0].Kind, rep.Audit.Findings[0].Msg)
+		}
+	}
+	fmt.Fprintf(&b, "(replayed in %v)\n", rep.Elapsed.Round(time.Microsecond))
+	return b.String()
 }
 
 func listPlants() {

@@ -23,6 +23,12 @@ type metrics struct {
 	stepErrors atomic.Int64
 	stepNanos  atomic.Int64 // total wall time inside stepping
 
+	tracesServed atomic.Int64 // recorded traces fetched by clients
+	replays      atomic.Int64 // replay requests served
+	replayErrors atomic.Int64 // failed replay requests
+	replaySteps  atomic.Int64 // steps re-executed by replays
+	replayNanos  atomic.Int64 // total wall time inside replays
+
 	fleetsCreated atomic.Int64
 	fleetsClosed  atomic.Int64
 	fleetsEvicted atomic.Int64
@@ -86,6 +92,14 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 	// Seconds-sum + count: avg step latency = sum/oicd_steps_total.
 	fmt.Fprintf(w, "# HELP oicd_step_seconds_sum total wall time inside stepping\n# TYPE oicd_step_seconds_sum counter\noicd_step_seconds_sum %g\n",
 		float64(m.stepNanos.Load())/1e9)
+
+	counter("oicd_traces_served_total", "recorded session traces fetched", m.tracesServed.Load())
+	counter("oicd_replays_total", "trace replays served", m.replays.Load())
+	counter("oicd_replay_errors_total", "failed replay requests", m.replayErrors.Load())
+	counter("oicd_replay_steps_total", "steps re-executed by replays", m.replaySteps.Load())
+	// Seconds-sum + count: avg replay latency = sum/oicd_replays_total.
+	fmt.Fprintf(w, "# HELP oicd_replay_seconds_sum total wall time inside replays\n# TYPE oicd_replay_seconds_sum counter\noicd_replay_seconds_sum %g\n",
+		float64(m.replayNanos.Load())/1e9)
 
 	counter("oicd_fleets_created_total", "fleets created", m.fleetsCreated.Load())
 	counter("oicd_fleets_closed_total", "fleets closed by clients", m.fleetsClosed.Load())

@@ -132,7 +132,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleSessionTrace)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/replay", s.handleReplay)
 	mux.HandleFunc("POST /v1/fleets", s.handleFleetCreate)
 	mux.HandleFunc("GET /v1/fleets/{id}", s.handleFleetGet)
 	mux.HandleFunc("DELETE /v1/fleets/{id}", s.handleFleetDelete)
@@ -406,6 +408,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	if req.Trace {
+		// The session is fresh (t = 0), so StartTrace cannot be late; the
+		// cap keeps a hostile client from growing a recording unboundedly.
+		if err := sess.StartTrace(maxTraceSteps); err != nil {
+			sess.Close()
+			s.fail(w, err)
+			return
+		}
+	}
 	// Capacity check and insert share one critical section, so concurrent
 	// creates cannot overshoot the cap between check and insert.
 	se := &session{s: sess}
@@ -572,6 +583,12 @@ func statusAndCode(err error) (int, string) {
 		return http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, oic.ErrSessionClosed):
 		return http.StatusGone, "session_closed"
+	case errors.Is(err, oic.ErrNotTracing):
+		return http.StatusConflict, "not_tracing"
+	case errors.Is(err, oic.ErrTraceLimit):
+		return http.StatusConflict, "trace_limit"
+	case errors.Is(err, oic.ErrTraceMismatch):
+		return http.StatusBadRequest, "trace_mismatch"
 	case errors.Is(err, oic.ErrUnsafe):
 		return http.StatusUnprocessableEntity, "unsafe"
 	case errors.Is(err, oic.ErrInfeasible):

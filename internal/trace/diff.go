@@ -1,0 +1,120 @@
+package trace
+
+import "math"
+
+// Diff summarizes how two traces of the same episode differ — the data
+// core of a replay report. A is conventionally the recorded episode, B
+// the replayed one.
+type Diff struct {
+	// Steps is the number of compared steps (the shorter length).
+	Steps int `json:"steps"`
+	// LengthMismatch reports differing step counts.
+	LengthMismatch bool `json:"length_mismatch,omitempty"`
+
+	// DecisionFlips counts steps whose run/skip decision differs;
+	// FirstFlip is the first such step (−1 when none).
+	DecisionFlips int `json:"decision_flips"`
+	FirstFlip     int `json:"first_flip"`
+
+	// ComputesA/B count ran steps; ForcedA/B count monitor-forced runs.
+	ComputesA int `json:"computes_a"`
+	ComputesB int `json:"computes_b"`
+	ForcedA   int `json:"forced_a"`
+	ForcedB   int `json:"forced_b"`
+
+	// EnergyA/B are the recorded Σ‖u‖₁ totals.
+	EnergyA float64 `json:"energy_a"`
+	EnergyB float64 `json:"energy_b"`
+
+	// MaxStateDivergence is the largest L∞ distance between aligned
+	// states (x0 and every compared successor); DivergeStep is the first
+	// step whose successor states differ bitwise (−1 when none).
+	MaxStateDivergence float64 `json:"max_state_divergence"`
+	DivergeStep        int     `json:"diverge_step"`
+
+	// Identical means byte-identical episodes: same length, bitwise-equal
+	// x0, disturbances, decisions, inputs, states, and energy — the
+	// conformance criterion.
+	Identical bool `json:"identical"`
+}
+
+// Compare diffs two traces step by step.
+func Compare(a, b *Trace) Diff {
+	d := Diff{FirstFlip: -1, DivergeStep: -1}
+	d.LengthMismatch = len(a.Steps) != len(b.Steps)
+	d.Steps = len(a.Steps)
+	if len(b.Steps) < d.Steps {
+		d.Steps = len(b.Steps)
+	}
+	d.EnergyA, d.EnergyB = a.Energy, b.Energy
+
+	identical := !d.LengthMismatch && a.Energy == b.Energy &&
+		a.NX == b.NX && a.NU == b.NU
+	maxDiv := func(p, q []float64) float64 {
+		m := 0.0
+		for i := range p {
+			if i >= len(q) {
+				break
+			}
+			if v := math.Abs(p[i] - q[i]); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	bitEq := func(p, q []float64) bool {
+		if len(p) != len(q) {
+			return false
+		}
+		for i := range p {
+			if math.Float64bits(p[i]) != math.Float64bits(q[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	if v := maxDiv(a.X0, b.X0); v > d.MaxStateDivergence {
+		d.MaxStateDivergence = v
+	}
+	if !bitEq(a.X0, b.X0) {
+		identical = false
+	}
+	for _, st := range a.Steps {
+		if st.Ran {
+			d.ComputesA++
+			if st.Forced {
+				d.ForcedA++
+			}
+		}
+	}
+	for _, st := range b.Steps {
+		if st.Ran {
+			d.ComputesB++
+			if st.Forced {
+				d.ForcedB++
+			}
+		}
+	}
+	for i := 0; i < d.Steps; i++ {
+		sa, sb := &a.Steps[i], &b.Steps[i]
+		if sa.Ran != sb.Ran {
+			d.DecisionFlips++
+			if d.FirstFlip < 0 {
+				d.FirstFlip = i
+			}
+		}
+		if v := maxDiv(sa.X, sb.X); v > d.MaxStateDivergence {
+			d.MaxStateDivergence = v
+		}
+		if d.DivergeStep < 0 && !bitEq(sa.X, sb.X) {
+			d.DivergeStep = i
+		}
+		if sa.Ran != sb.Ran || sa.Forced != sb.Forced || sa.Level != sb.Level ||
+			!bitEq(sa.W, sb.W) || !bitEq(sa.U, sb.U) || !bitEq(sa.X, sb.X) {
+			identical = false
+		}
+	}
+	d.Identical = identical
+	return d
+}

@@ -128,6 +128,90 @@ func BenchmarkFleetTick(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceRecord measures the per-step cost of episode recording on
+// the skip-heavy hot path (bang-bang policy): a traced facade step is the
+// untraced one plus one flag byte and three bounded arena appends. The
+// session is recycled every 4 Ki steps so the recording (not the episode
+// length) is what's measured.
+func BenchmarkTraceRecord(b *testing.B) {
+	e, err := NewEngine(Config{Plant: "acc", Policy: PolicyBangBang})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0, w, err := e.DrawCase(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var s *Session
+	open := func() {
+		var err error
+		if s, err = e.NewSession(x0); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.StartTrace(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	open()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%4096 == 0 {
+			b.StopTimer()
+			s.Close()
+			open()
+			b.StartTimer()
+		}
+		if _, err := s.Step(ctx, w[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures replay throughput: one 128-step always-run ACC
+// episode (κ solves at every step — the worst case; skip-heavy logs
+// replay orders of magnitude faster) re-executed and diffed per
+// iteration. steps/s is the replay-service throughput number.
+func BenchmarkReplay(b *testing.B) {
+	e := accEngine(b)
+	const steps = 128
+	x0, w, err := e.DrawCase(1, steps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := e.NewSession(x0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.StartTrace(0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.StepMany(context.Background(), w); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := s.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Replay(tr, ReplayOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Diff.Identical {
+			b.Fatal("replay diverged")
+		}
+	}
+	b.StopTimer()
+	perStep := float64(b.Elapsed().Nanoseconds()) / float64(b.N*steps)
+	b.ReportMetric(perStep, "ns/step")
+	b.ReportMetric(1e9/perStep, "steps/s")
+}
+
 // BenchmarkFleetAdmission measures the admission-control path: XI
 // membership check plus a pooled-workspace acquire/release cycle.
 func BenchmarkFleetAdmission(b *testing.B) {

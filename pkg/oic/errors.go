@@ -46,4 +46,15 @@ var (
 	ErrFleetOverloaded = errors.New("oic: fleet overloaded (forced computes saturate the budget)")
 	// ErrUnknownMember: no fleet member has the given ID.
 	ErrUnknownMember = errors.New("oic: unknown fleet member")
+
+	// ErrNotTracing: the session or fleet member has no episode recording
+	// (StartTrace was never called / FleetConfig.Trace is off).
+	ErrNotTracing = errors.New("oic: not tracing")
+	// ErrTraceLimit: the episode recording reached its step limit; the
+	// session refuses further steps rather than truncating its trace.
+	ErrTraceLimit = errors.New("oic: trace limit reached")
+	// ErrTraceMismatch: the trace's engine fingerprint (plant, scenario,
+	// dimensions, disturbance memory) does not match the engine asked to
+	// replay or audit it.
+	ErrTraceMismatch = errors.New("oic: trace does not match engine")
 )

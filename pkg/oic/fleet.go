@@ -10,6 +10,7 @@ import (
 	"oic/internal/mat"
 	"oic/internal/reach"
 	"oic/internal/sched"
+	"oic/internal/trace"
 )
 
 // FleetConfig tunes a Fleet.
@@ -23,6 +24,14 @@ type FleetConfig struct {
 	Workers int `json:"workers,omitempty"`
 	// MaxSessions is the admission-control capacity; ≤ 0 means 4096.
 	MaxSessions int `json:"max_sessions,omitempty"`
+	// Trace records every member's episode from admission (MemberTrace
+	// reads it back). Costs one bounded append per member step when on;
+	// a single nil check when off.
+	Trace bool `json:"trace,omitempty"`
+	// TraceLimit caps recorded steps per member; once reached the member
+	// keeps stepping but its recording stops growing (the trace stays a
+	// complete prefix of the episode). ≤ 0 means unlimited.
+	TraceLimit int `json:"trace_limit,omitempty"`
 }
 
 // DefaultFleetSessions is the MaxSessions default.
@@ -64,10 +73,11 @@ type Fleet struct {
 // fleetMember adapts one core session to sched.Member. The staged
 // disturbance w is written by Tick before scheduling and read by Step.
 type fleetMember struct {
-	f  *Fleet
-	id int
-	cs *core.Session
-	w  mat.Vec // owned buffer, re-staged every tick
+	f   *Fleet
+	id  int
+	cs  *core.Session
+	w   mat.Vec         // owned buffer, re-staged every tick
+	rec *trace.Recorder // per-member episode recording; nil unless FleetConfig.Trace
 }
 
 // Decide implements sched.Member: the monitor level, the policy verdict
@@ -85,8 +95,14 @@ func (m *fleetMember) Decide() sched.Decision {
 // overrides a skip whenever x ∉ X′, so even a (never planned) mis-shed
 // could not break Theorem 1.
 func (m *fleetMember) Step(compute bool) error {
-	_, err := m.cs.StepWithChoice(m.w, compute)
-	return err
+	rec, err := m.cs.StepWithChoice(m.w, compute)
+	if err != nil {
+		return err
+	}
+	if m.rec != nil && !m.rec.Full() {
+		_ = m.rec.Append(rec.Ran, rec.Forced, uint8(rec.Level), rec.W, rec.U, rec.Next)
+	}
+	return nil
 }
 
 // NewFleet creates an empty fleet over the engine. The S_k skip-budget
@@ -140,6 +156,9 @@ func (f *Fleet) Admit(x0 []float64) (int, error) {
 	id := f.nextID
 	f.nextID++
 	m := &fleetMember{f: f, id: id, cs: cs, w: make(mat.Vec, f.eng.NX())}
+	if f.cfg.Trace {
+		m.rec = trace.NewRecorder(f.eng.traceMeta(), x0, f.eng.NU(), f.cfg.TraceLimit)
+	}
 	f.byID[id] = len(f.members)
 	f.members = append(f.members, m)
 	f.roster = append(f.roster, m)
@@ -358,6 +377,26 @@ type FleetMemberInfo struct {
 	Forced     int       `json:"forced"`
 	Violations int       `json:"violations"`
 	Energy     float64   `json:"energy"`
+}
+
+// MemberTrace materializes the recorded episode of one member (from its
+// admission to its latest tick). It returns ErrNotTracing unless the
+// fleet was created with FleetConfig.Trace; an evicted member's recording
+// is dropped with it.
+func (f *Fleet) MemberTrace(id int) (*Trace, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrFleetClosed
+	}
+	idx, ok := f.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMember, id)
+	}
+	if f.members[idx].rec == nil {
+		return nil, ErrNotTracing
+	}
+	return f.members[idx].rec.Trace(), nil
 }
 
 // Member returns a snapshot of the member with the given ID.

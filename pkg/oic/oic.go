@@ -185,6 +185,9 @@ func (e *Engine) PolicyName() string { return e.cfg.Policy }
 // untrained policies).
 func (e *Engine) TrainStats() rl.TrainStats { return e.train }
 
+// EpisodeSteps returns the plant's default episode length.
+func (e *Engine) EpisodeSteps() int { return e.plant.EpisodeSteps() }
+
 // NX and NU return the plant's state and input dimensions.
 func (e *Engine) NX() int { return e.inst.System().NX() }
 

@@ -1,0 +1,332 @@
+package oic
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// tracedEpisode records one seeded always-run ACC episode and returns it
+// with its case data.
+func tracedEpisode(t *testing.T, seed int64, steps int) (*Trace, []float64, [][]float64) {
+	t.Helper()
+	e := accEngine(t)
+	x0, w, err := e.DrawCase(seed, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewSession(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.StartTrace(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StepMany(context.Background(), w); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, x0, w
+}
+
+func TestSessionTracingAPI(t *testing.T) {
+	e := accEngine(t)
+	x0, w, err := e.DrawCase(21, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewSession(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if s.Tracing() {
+		t.Error("fresh session reports tracing")
+	}
+	if _, err := s.Trace(); !errors.Is(err, ErrNotTracing) {
+		t.Errorf("Trace without StartTrace: %v", err)
+	}
+	if err := s.StartTrace(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartTrace(0); err != nil {
+		t.Errorf("StartTrace not idempotent: %v", err)
+	}
+	if _, err := s.StepMany(context.Background(), w); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(w) || tr.NX != e.NX() || tr.NU != e.NU() {
+		t.Errorf("trace shape %d steps %d×%d", tr.Len(), tr.NX, tr.NU)
+	}
+	if tr.Meta.Plant != "acc" || tr.Meta.Policy != PolicyAlwaysRun {
+		t.Errorf("trace meta %+v", tr.Meta)
+	}
+	// Tracing survives Close (the recording is not pooled with the
+	// workspace).
+	info := s.Info()
+	s.Close()
+	tr2, err := s.Trace()
+	if err != nil || tr2.Len() != info.T {
+		t.Errorf("trace after close: %v (len %d, want %d)", err, tr2.Len(), info.T)
+	}
+
+	// StartTrace must come before the first step.
+	s2, err := e.NewSession(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Step(context.Background(), w[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.StartTrace(0); err == nil {
+		t.Error("StartTrace accepted mid-episode start")
+	}
+}
+
+func TestTraceLimitStopsStepping(t *testing.T) {
+	e := accEngine(t)
+	x0, w, err := e.DrawCase(22, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewSession(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.StartTrace(3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.StepMany(context.Background(), w)
+	if !errors.Is(err, ErrTraceLimit) {
+		t.Fatalf("expected ErrTraceLimit, got %v", err)
+	}
+	if len(res) != 3 {
+		t.Errorf("executed %d steps before the limit, want 3", len(res))
+	}
+	tr, err := s.Trace()
+	if err != nil || tr.Len() != 3 {
+		t.Errorf("trace %v len %d, want complete 3-step prefix", err, tr.Len())
+	}
+	// The session is refused further steps, not closed.
+	if _, err := s.Step(context.Background(), w[3]); !errors.Is(err, ErrTraceLimit) {
+		t.Errorf("step after limit: %v", err)
+	}
+}
+
+func TestReplayWhatIfPolicy(t *testing.T) {
+	tr, _, _ := tracedEpisode(t, 31, 30)
+	e := accEngine(t)
+
+	rep, err := e.Replay(tr, ReplayOptions{Policy: PolicyBangBang, Audit: true, IncludeTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecordedPolicy != PolicyAlwaysRun || rep.ReplayedPolicy != PolicyBangBang {
+		t.Errorf("policies %s → %s", rep.RecordedPolicy, rep.ReplayedPolicy)
+	}
+	// Bang-bang skips wherever the monitor permits, so against an
+	// always-run recording the diff must flip decisions and spend less.
+	if rep.Diff.DecisionFlips == 0 || rep.Diff.Identical {
+		t.Errorf("what-if replay reported no flips: %+v", rep.Diff)
+	}
+	if rep.Diff.ComputesB >= rep.Diff.ComputesA {
+		t.Errorf("bang-bang computed %d ≥ always-run's %d", rep.Diff.ComputesB, rep.Diff.ComputesA)
+	}
+	if rep.Diff.EnergyB > rep.Diff.EnergyA {
+		t.Errorf("bang-bang spent more energy (%g) than always-run (%g)", rep.Diff.EnergyB, rep.Diff.EnergyA)
+	}
+	// Theorem 1: the what-if stays safe, and its own trace audits clean.
+	if rep.Violations != 0 {
+		t.Errorf("what-if replay violated X %d times", rep.Violations)
+	}
+	if rep.Audit == nil || !rep.Audit.Clean {
+		t.Errorf("recorded-trace audit: %+v", rep.Audit)
+	}
+	if rep.Trace == nil {
+		t.Fatal("IncludeTrace returned no trace")
+	}
+	au, err := e.AuditTrace(rep.Trace)
+	if err != nil || !au.Clean {
+		t.Errorf("replayed trace does not audit clean: %v %+v", err, au)
+	}
+}
+
+func TestReplayComputeBudget(t *testing.T) {
+	tr, _, _ := tracedEpisode(t, 32, 30)
+	e := accEngine(t)
+
+	const budget = 5
+	rep, err := e.Replay(tr, ReplayOptions{ComputeBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Error("tight budget shed nothing against an always-run recording")
+	}
+	// Optional computes respect the budget; only monitor-forced ones may
+	// exceed it (safety is never traded for budget).
+	if rep.Diff.ComputesB > budget+rep.Diff.ForcedB {
+		t.Errorf("computes %d exceed budget %d + forced %d", rep.Diff.ComputesB, budget, rep.Diff.ForcedB)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("budgeted replay violated X %d times", rep.Violations)
+	}
+	if rep.Diff.ComputesA != rep.Diff.Steps {
+		t.Errorf("always-run recording computed %d of %d steps", rep.Diff.ComputesA, rep.Diff.Steps)
+	}
+}
+
+func TestReplayMismatchAndValidation(t *testing.T) {
+	tr, _, _ := tracedEpisode(t, 33, 5)
+
+	thermoEng, err := NewEngine(Config{Plant: "thermo", Policy: PolicyAlwaysRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := thermoEng.Replay(tr, ReplayOptions{}); !errors.Is(err, ErrTraceMismatch) {
+		t.Errorf("cross-plant replay: %v", err)
+	}
+	if _, err := thermoEng.AuditTrace(tr); !errors.Is(err, ErrTraceMismatch) {
+		t.Errorf("cross-plant audit: %v", err)
+	}
+
+	e := accEngine(t)
+	bad := tr.Clone()
+	bad.Steps[0].W = bad.Steps[0].W[:1]
+	if _, err := e.Replay(bad, ReplayOptions{}); err == nil {
+		t.Error("replay accepted an invalid trace")
+	}
+	if _, err := e.Replay(tr, ReplayOptions{Policy: "sometimes"}); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("unknown replay policy: %v", err)
+	}
+	if _, err := e.Replay(tr, ReplayOptions{Policy: PolicyDRL}); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("DRL replay on an untrained engine: %v", err)
+	}
+}
+
+// TestPackageReplayRebuildsEngine exercises the fingerprint path end to
+// end: package-level Replay must rebuild an equivalent engine from the
+// trace alone and still reproduce the episode byte-identically.
+func TestPackageReplayRebuildsEngine(t *testing.T) {
+	tr, _, _ := tracedEpisode(t, 34, 15)
+	rep, err := Replay(tr, ReplayOptions{Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diff.Identical {
+		t.Errorf("rebuilt-engine replay diverged: %+v", rep.Diff)
+	}
+	if rep.Audit == nil || !rep.Audit.Clean {
+		t.Errorf("audit: %+v", rep.Audit)
+	}
+}
+
+// TestFleetMemberTraceConformance: a fleet member's recording (unlimited
+// budget, so the scheduler never sheds) replays byte-identically — the
+// fleet capture path and the session path record the same episode.
+func TestFleetMemberTraceConformance(t *testing.T) {
+	e := accEngine(t)
+	f, err := e.NewFleet(FleetConfig{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const steps = 12
+	x0, w, err := e.DrawCase(35, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := f.Admit(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < steps; i++ {
+		if _, err := f.Tick(ctx, map[int][]float64{id: w[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := f.MemberTrace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != steps {
+		t.Fatalf("member trace has %d steps, want %d", tr.Len(), steps)
+	}
+	rep, err := e.Replay(tr, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diff.Identical {
+		t.Errorf("fleet member trace replay diverged: %+v", rep.Diff)
+	}
+
+	// Untraced fleets answer ErrNotTracing; unknown members their own
+	// sentinel.
+	f2, err := e.NewFleet(FleetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	id2, err := f2.Admit(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.MemberTrace(id2); !errors.Is(err, ErrNotTracing) {
+		t.Errorf("untraced fleet MemberTrace: %v", err)
+	}
+	if _, err := f.MemberTrace(9999); !errors.Is(err, ErrUnknownMember) {
+		t.Errorf("unknown member: %v", err)
+	}
+
+	// TraceLimit keeps a complete prefix without failing the tick.
+	f3, err := e.NewFleet(FleetConfig{Trace: true, TraceLimit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Close()
+	id3, err := f3.Admit(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		if _, err := f3.Tick(ctx, map[int][]float64{id3: w[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr3, err := f3.MemberTrace(id3)
+	if err != nil || tr3.Len() != 4 {
+		t.Errorf("limited member trace: %v len %d, want 4", err, tr3.Len())
+	}
+}
+
+// TestTraceMemoryEquivalence: the fingerprint stores the *resolved*
+// disturbance window, so engines that are behaviorally identical —
+// default memory vs an explicit Memory equal to the default — accept
+// each other's traces and replay them byte-identically.
+func TestTraceMemoryEquivalence(t *testing.T) {
+	tr, _, _ := tracedEpisode(t, 40, 10)
+	e1, err := NewEngine(Config{Plant: "acc", Policy: PolicyAlwaysRun, Memory: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e1.Replay(tr, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diff.Identical {
+		t.Errorf("explicit-memory engine replay diverged: %+v", rep.Diff)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"oic/internal/core"
 	"oic/internal/mat"
+	"oic/internal/trace"
 )
 
 // Session is one in-flight closed-loop run over an Engine. Sessions are
@@ -21,6 +22,7 @@ type Session struct {
 	mu     sync.Mutex
 	eng    *Engine
 	cs     *core.Session
+	rec    *trace.Recorder // episode recording; nil unless StartTrace was called
 	closed bool
 	final  SessionInfo // snapshot served after Close (the workspace is recycled)
 }
@@ -56,9 +58,18 @@ func (s *Session) stepLocked(ctx context.Context, w []float64) (StepResult, erro
 	if len(w) != s.eng.NX() {
 		return StepResult{}, fmt.Errorf("%w: w has dim %d, want %d", ErrBadDimension, len(w), s.eng.NX())
 	}
+	if s.rec != nil && s.rec.Full() {
+		// Refuse to step rather than silently truncate the recording: a
+		// trace either covers its whole episode or the episode stops.
+		return StepResult{}, fmt.Errorf("%w: %d steps", ErrTraceLimit, s.rec.Len())
+	}
 	rec, err := s.cs.StepContext(ctx, mat.Vec(w))
 	if err != nil {
 		return StepResult{}, err
+	}
+	if s.rec != nil {
+		// rec carries views; the recorder copies into its arenas.
+		_ = s.rec.Append(rec.Ran, rec.Forced, uint8(rec.Level), rec.W, rec.U, rec.Next)
 	}
 	// rec carries buffer views (recording is off); clone at the facade
 	// boundary so the wire result is owned by the caller.

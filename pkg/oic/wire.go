@@ -30,7 +30,9 @@ type PlantInfo struct {
 
 // CreateSessionRequest opens a control session: POST /v1/sessions. X0 may
 // be omitted, in which case the server samples an initial state from the
-// strengthened safe set X′ with Seed.
+// strengthened safe set X′ with Seed. Trace records the episode from the
+// first step (read back via GET /v1/sessions/{id}/trace); the server caps
+// a traced session's length, after which steps fail with 409 trace_limit.
 type CreateSessionRequest struct {
 	Plant    string      `json:"plant"`
 	Scenario string      `json:"scenario,omitempty"`
@@ -39,6 +41,7 @@ type CreateSessionRequest struct {
 	Train    TrainConfig `json:"train,omitempty"`
 	X0       []float64   `json:"x0,omitempty"`
 	Seed     int64       `json:"seed,omitempty"`
+	Trace    bool        `json:"trace,omitempty"`
 }
 
 // StepRequest advances a session: POST /v1/sessions/{id}/step. Exactly one
@@ -132,6 +135,27 @@ type FleetTickResponse struct {
 type FleetAdmitRequest struct {
 	X0   []float64 `json:"x0,omitempty"`
 	Seed int64     `json:"seed,omitempty"`
+}
+
+// TraceResponse wraps a session's recorded episode:
+// GET /v1/sessions/{id}/trace (the default JSON form; ?format=binary
+// streams the canonical binary encoding instead).
+type TraceResponse struct {
+	ID    string `json:"id"`
+	Trace *Trace `json:"trace"`
+}
+
+// ReplayRequest replays a recorded episode: POST /v1/replay. Exactly one
+// of Trace (JSON form) or TraceBin (the canonical binary encoding,
+// base64 on the wire) carries the episode; the remaining fields mirror
+// ReplayOptions. The response is a ReplayReport.
+type ReplayRequest struct {
+	Trace         *Trace `json:"trace,omitempty"`
+	TraceBin      []byte `json:"trace_bin,omitempty"`
+	Policy        string `json:"policy,omitempty"`
+	ComputeBudget int    `json:"compute_budget,omitempty"`
+	Audit         bool   `json:"audit,omitempty"`
+	IncludeTrace  bool   `json:"include_trace,omitempty"`
 }
 
 // ErrorResponse is the uniform error payload of the oicd server.
