@@ -17,7 +17,13 @@
 //	oic replay  — replay a recorded trace file (-trace) under the same or a
 //	              substituted policy (-replay-policy) / compute budget
 //	              (-replay-budget) and report the diff (DESIGN.md §8)
-//	oic all     — everything above except fleet, record, and replay
+//	oic export  — compile the configured engine and persist it as a .oica
+//	              artifact (-out and/or a content-addressed -artifact-dir
+//	              store) for warm oicd boots and `oic import` (DESIGN.md §9)
+//	oic import  — load a .oica artifact (-artifact), verify it reconstructs
+//	              a serving engine, and optionally file it into -artifact-dir
+//	oic all     — everything above except fleet, record, replay, export,
+//	              and import
 //
 // Every experiment is seeded and deterministic for a fixed -seed and
 // -workers-independent. Use -csv to additionally emit raw per-case data.
@@ -75,9 +81,11 @@ func main() {
 	replayPolicy := fs.String("replay-policy", "", "replay: substitute policy (empty = the trace's)")
 	replayBudget := fs.Int("replay-budget", 0, "replay: cap total κ computes (0 = unlimited; forced computes always run)")
 	auditFlag := fs.Bool("audit", true, "replay: re-verify the recorded trace with the offline auditor")
+	artifactFile := fs.String("artifact", "", "import: compiled engine artifact file (.oica)")
+	artifactDir := fs.String("artifact-dir", "", "export/import: also write the artifact into this content-addressed store (oicd -artifact-dir)")
 
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|fleet|record|replay|all [flags]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|fleet|record|replay|export|import|all [flags]\n\n")
 		fs.PrintDefaults()
 	}
 	// Parse flags first, then take the first positional argument as the
@@ -144,6 +152,19 @@ func main() {
 		}
 		if err := emit(rep, renderReplay(tr, rep)); err != nil {
 			fmt.Fprintf(os.Stderr, "oic: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if cmd == "import" {
+		// Import needs no -plant: the artifact fingerprints its own engine.
+		if *artifactFile == "" {
+			fmt.Fprintln(os.Stderr, "oic: import requires -artifact FILE")
+			os.Exit(2)
+		}
+		if err := doImport(*artifactFile, *artifactDir, emit); err != nil {
+			fmt.Fprintf(os.Stderr, "oic: import: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -500,6 +521,66 @@ func main() {
 			p.Name(), eng.ScenarioID(), eng.PolicyName(), tr.Len(), info.Skips, info.Runs, info.Energy, *outFile, len(b)))
 	}
 
+	// doExport compiles the configured engine (sets, LP, trained policy)
+	// and persists it as a portable .oica artifact — the producer side of
+	// oicd's warm boot (-artifact-dir -preload) and of `oic import`.
+	doExport := func() error {
+		if *outFile == "" && *artifactDir == "" {
+			return fmt.Errorf("export requires -out FILE and/or -artifact-dir DIR")
+		}
+		cfg := oic.Config{Plant: p.Name(), Scenario: *scenario, Policy: *policy}
+		if *policy == oic.PolicyDRL {
+			cfg.Train = oic.TrainConfig{Episodes: *train}
+		}
+		eng, err := oic.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		a, err := eng.Artifact()
+		if err != nil {
+			return err
+		}
+		b, err := oic.EncodeArtifact(a)
+		if err != nil {
+			return err
+		}
+		fp := cfg.Fingerprint()
+		if *outFile != "" {
+			if err := os.WriteFile(*outFile, b, 0o644); err != nil {
+				return err
+			}
+		}
+		stored := ""
+		if *artifactDir != "" {
+			st, err := oic.OpenArtifactStore(*artifactDir)
+			if err != nil {
+				return err
+			}
+			if err := st.Put(fp, a); err != nil {
+				return err
+			}
+			stored = st.Path(fp)
+		}
+		var text strings.Builder
+		fmt.Fprintf(&text, "exported %s: %d bytes (X %d, XI %d, X' %d halfspaces; skip chain S_1..S_%d",
+			fp, len(b), a.Sets.X.NumRows(), a.Sets.XI.NumRows(), a.Sets.XPrime.NumRows(), len(a.Chain))
+		if a.Policy != nil {
+			fmt.Fprintf(&text, "; policy %s %v", a.Policy.Label, a.Policy.Sizes)
+		}
+		fmt.Fprintf(&text, ")\n")
+		if *outFile != "" {
+			fmt.Fprintf(&text, "  → %s\n", *outFile)
+		}
+		if stored != "" {
+			fmt.Fprintf(&text, "  → %s\n", stored)
+		}
+		return emit(map[string]any{
+			"kind": "export", "fingerprint": fp, "bytes": len(b),
+			"plant": a.Meta.Plant, "scenario": a.Meta.Scenario, "policy": a.Meta.Policy,
+			"chain": len(a.Chain), "file": *outFile, "stored": stored,
+		}, text.String())
+	}
+
 	switch cmd {
 	case "fig4":
 		run("fig4", doFig4)
@@ -519,6 +600,8 @@ func main() {
 		run("fleet", doFleetSweep)
 	case "record":
 		run("record", doRecord)
+	case "export":
+		run("export", doExport)
 	case "all":
 		run("sets", doSets)
 		run("budget", doBudget)
@@ -533,6 +616,55 @@ func main() {
 		fs.Usage()
 		os.Exit(2)
 	}
+}
+
+// doImport loads a compiled engine artifact, verifies it reconstructs a
+// serving engine (full codec validation, skip-chain monotonicity, policy
+// restore), prints its summary, and optionally files it into a
+// content-addressed store for oicd to preload.
+func doImport(path, dir string, emit func(doc any, text string) error) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	a, err := oic.DecodeArtifact(b)
+	if err != nil {
+		return err
+	}
+	eng, err := oic.LoadEngine(a)
+	if err != nil {
+		return err
+	}
+	fp := oic.ConfigFromArtifact(a).Fingerprint()
+	stored := ""
+	if dir != "" {
+		st, err := oic.OpenArtifactStore(dir)
+		if err != nil {
+			return err
+		}
+		if err := st.Put(fp, a); err != nil {
+			return err
+		}
+		stored = st.Path(fp)
+	}
+	var text strings.Builder
+	fmt.Fprintf(&text, "imported %s (%d bytes): engine %s/%s under %s, %d×%d system\n",
+		path, len(b), a.Meta.Plant, eng.ScenarioID(), eng.PolicyName(), eng.NX(), eng.NU())
+	fmt.Fprintf(&text, "  sets X %d, XI %d, X' %d halfspaces; skip chain S_1..S_%d\n",
+		a.Sets.X.NumRows(), a.Sets.XI.NumRows(), a.Sets.XPrime.NumRows(), len(a.Chain))
+	if a.Policy != nil {
+		fmt.Fprintf(&text, "  policy %s, layers %v, memory %d (trained %d episodes, mean reward %.4g)\n",
+			a.Policy.Label, a.Policy.Sizes, a.Policy.Memory, a.Train.Episodes, a.Train.MeanReward)
+	}
+	fmt.Fprintf(&text, "  fingerprint %s\n", fp)
+	if stored != "" {
+		fmt.Fprintf(&text, "  → %s\n", stored)
+	}
+	return emit(map[string]any{
+		"kind": "import", "fingerprint": fp, "bytes": len(b),
+		"plant": a.Meta.Plant, "scenario": a.Meta.Scenario, "policy": a.Meta.Policy,
+		"nx": eng.NX(), "nu": eng.NU(), "chain": len(a.Chain), "stored": stored,
+	}, text.String())
 }
 
 // loadTrace reads a trace file in any encoding a user plausibly saved:

@@ -47,6 +47,8 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 120*time.Second, "response write timeout (batched steps and fleet ticks run inside it)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
+	artifactDir := flag.String("artifact-dir", "", "on-disk engine artifact store: check before building engines, write back after; empty disables")
+	preload := flag.Bool("preload", false, "materialize every artifact in -artifact-dir into the engine cache at boot (/healthz reports 503 until done)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -54,6 +56,32 @@ func main() {
 		MaxEngines: *maxEngines, MaxFleets: *maxFleets,
 	})
 	srv.StartJanitor()
+
+	if *preload && *artifactDir == "" {
+		log.Fatalf("oicd: -preload requires -artifact-dir")
+	}
+	if *artifactDir != "" {
+		if err := srv.OpenArtifactStore(*artifactDir); err != nil {
+			log.Fatalf("oicd: -artifact-dir: %v", err)
+		}
+		log.Printf("oicd: artifact store at %s", *artifactDir)
+	}
+	if *preload {
+		run, err := srv.BeginPreload()
+		if err != nil {
+			log.Fatalf("oicd: -preload: %v", err)
+		}
+		// Serve (503 on /healthz) while the catalogue materializes, so a
+		// rolling restart holds traffic instead of rebuilding engines.
+		go func() {
+			n, err := run()
+			if err != nil {
+				log.Printf("oicd: preload: %v", err)
+				return
+			}
+			log.Printf("oicd: preloaded %d engine(s) from %s", n, *artifactDir)
+		}()
+	}
 
 	// Slowloris hardening: bound every phase of a connection's lifetime.
 	// The write timeout is generous because batched-step and fleet-tick

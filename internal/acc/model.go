@@ -136,6 +136,52 @@ func NewModel(cfg Config) (*Model, error) {
 	return &Model{Cfg: cfg, Sys: sys, RMPC: rmpc, Sets: sets, URef: uref, XRef: xref}, nil
 }
 
+// NewModelWithSets constructs the model around precompiled safety sets:
+// dynamics, equilibrium, and the RMPC program are rebuilt (cheap, exact),
+// but the expensive offline synthesis — feasible-set projection and
+// ComputeSafetySets — is skipped and the supplied sets are used verbatim.
+// This is the artifact-load path; the sets must come from a model built
+// with the same Config or behavior will diverge.
+func NewModelWithSets(cfg Config, sets core.SafetySets) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if cfg.VfMin >= cfg.VfMax {
+		return nil, fmt.Errorf("acc: NewModelWithSets: bad v_f range [%g, %g]", cfg.VfMin, cfg.VfMax)
+	}
+	if sets.X == nil || sets.XI == nil || sets.XPrime == nil {
+		return nil, fmt.Errorf("acc: NewModelWithSets: incomplete safety sets")
+	}
+	if sets.XI.Dim() != 2 || sets.XPrime.Dim() != 2 {
+		return nil, fmt.Errorf("acc: NewModelWithSets: sets have dimension %d, want 2", sets.XI.Dim())
+	}
+
+	a := mat.FromRows([][]float64{{1, -Delta}, {0, 1 - Drag*Delta}})
+	b := mat.FromRows([][]float64{{0}, {Delta}})
+	sys := lti.NewSystem(a, b).
+		WithDrift(mat.Vec{Delta * VE, 0}).
+		WithConstraints(
+			poly.Box([]float64{SMin, VMin}, []float64{SMax, VMax}),
+			poly.Box([]float64{UMin}, []float64{UMax}),
+			poly.Box([]float64{Delta * (cfg.VfMin - VE), 0}, []float64{Delta * (cfg.VfMax - VE), 0}),
+		)
+
+	xref := mat.Vec{SRef, VE}
+	uref, err := controller.EquilibriumInput(sys, xref, 0)
+	if err != nil {
+		return nil, fmt.Errorf("acc: NewModelWithSets: %w", err)
+	}
+	rmpc, err := controller.NewRMPC(sys, controller.RMPCConfig{
+		Horizon:     cfg.Horizon,
+		StateWeight: cfg.StateWeight,
+		InputWeight: cfg.InputWeight,
+		XRef:        xref,
+		URef:        uref,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("acc: NewModelWithSets: %w", err)
+	}
+	return &Model{Cfg: cfg, Sys: sys, RMPC: rmpc, Sets: sets, URef: uref, XRef: xref}, nil
+}
+
 // modelCache memoizes model construction per configuration, mirroring the
 // scenario-independent sync.OnceValues caches thermo and orbit use. acc
 // cannot share a single model — its safety sets depend on the scenario's

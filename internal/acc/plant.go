@@ -7,6 +7,7 @@ import (
 	"oic/internal/core"
 	"oic/internal/lti"
 	"oic/internal/mat"
+	"oic/internal/nn"
 	"oic/internal/plant"
 	"oic/internal/rl"
 	"oic/internal/traffic"
@@ -160,15 +161,90 @@ func (in *Instance) TrainSkipPolicy(cfg plant.TrainConfig) (core.SkipPolicy, rl.
 	if memory <= 0 {
 		memory = DefaultMemory
 	}
-	return accPolicy{SkipPolicy: in.m.DRLPolicy(agent), memory: memory}, stats, nil
+	return accPolicy{m: in.m, net: agent.Policy(), memory: memory}, stats, nil
 }
 
-// accPolicy tags the trained ACC policy with its disturbance-memory
-// length (plant.MemoryPolicy).
+// accPolicy is the trained ACC skipping policy: the greedy argmax over
+// the Q-network on the paper's bespoke agent state m.Encode(x, w). It
+// holds the network directly so the policy snapshots into an artifact and
+// restores bit-identically, and carries its disturbance-memory length
+// (plant.MemoryPolicy).
 type accPolicy struct {
-	core.SkipPolicy
+	m      *Model
+	net    *nn.MLP
 	memory int
 }
 
+// Decide implements core.SkipPolicy: action 1 ("run κ") iff
+// Q(s, run) > Q(s, skip), matching rl.DDQN.Greedy's strict argmax.
+func (p accPolicy) Decide(_ int, x mat.Vec, wRecent []mat.Vec) bool {
+	q := p.net.Forward(p.m.Encode(x, wRecent))
+	return q[1] > q[0]
+}
+
+// Name implements core.SkipPolicy.
+func (p accPolicy) Name() string { return plant.DRLPolicyLabel }
+
 // PolicyMemory implements plant.MemoryPolicy.
 func (p accPolicy) PolicyMemory() int { return p.memory }
+
+// PolicySnapshot implements plant.SnapshottablePolicy. The ACC's encoder
+// is bespoke — it uses only the disturbance's first component against the
+// scalar WScale — so the snapshot stores a scalar wScale and the paper's
+// fixed state bounds.
+func (p accPolicy) PolicySnapshot() (*plant.PolicySnapshot, error) {
+	return &plant.PolicySnapshot{
+		Label:   plant.DRLPolicyLabel,
+		Memory:  p.memory,
+		Net:     p.net.Snapshot(),
+		XCenter: []float64{SRef, VE},
+		XScale:  []float64{(SMax - SMin) / 2, (VMax - VMin) / 2},
+		WScale:  []float64{p.m.WScale()},
+	}, nil
+}
+
+// InstantiateWithSets implements plant.SetsLoader: it binds the scenario
+// to a model rebuilt around precompiled safety sets, skipping the
+// feasible-set projection and safe-set synthesis entirely.
+func (Plant) InstantiateWithSets(gsc plant.Scenario, sets core.SafetySets) (plant.Instance, error) {
+	sc, err := scenarioByID(gsc.ID)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewModelWithSets(Config{VfMin: sc.VfMin, VfMax: sc.VfMax}, sets)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{m: m, sc: sc}, nil
+}
+
+// RestoreSkipPolicy implements plant.PolicyRestorer: it rebuilds the
+// trained ACC policy from its snapshot without retraining. The stored
+// wScale must match this model's — a mismatch means the snapshot was
+// taken on a different v_f design range and would silently misnormalize.
+func (in *Instance) RestoreSkipPolicy(snap *plant.PolicySnapshot) (core.SkipPolicy, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("acc: RestoreSkipPolicy: nil snapshot")
+	}
+	if snap.Label != plant.DRLPolicyLabel {
+		return nil, fmt.Errorf("acc: RestoreSkipPolicy: unknown policy label %q", snap.Label)
+	}
+	if snap.Memory < 1 {
+		return nil, fmt.Errorf("acc: RestoreSkipPolicy: memory %d < 1", snap.Memory)
+	}
+	if len(snap.WScale) != 1 || snap.WScale[0] != in.m.WScale() {
+		return nil, fmt.Errorf("acc: RestoreSkipPolicy: snapshot wScale %v, model expects [%g]",
+			snap.WScale, in.m.WScale())
+	}
+	net, err := nn.FromSnapshot(snap.Net)
+	if err != nil {
+		return nil, fmt.Errorf("acc: RestoreSkipPolicy: %w", err)
+	}
+	if want := 2 + snap.Memory; net.Sizes[0] != want {
+		return nil, fmt.Errorf("acc: RestoreSkipPolicy: network input %d, encoder expects %d", net.Sizes[0], want)
+	}
+	if net.Sizes[len(net.Sizes)-1] != 2 {
+		return nil, fmt.Errorf("acc: RestoreSkipPolicy: network has %d outputs, want 2", net.Sizes[len(net.Sizes)-1])
+	}
+	return accPolicy{m: in.m, net: net, memory: snap.Memory}, nil
+}

@@ -1,0 +1,48 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeArtifact hammers the strict decoder with mutated inputs,
+// seeded with the golden corpus (real encoded engines) and a valid
+// synthetic artifact. Properties: Decode never panics and never accepts
+// an input it cannot reproduce — every accepted input validates and
+// re-encodes to the identical bytes (canonical form), so the fuzzer
+// proves Encode∘Decode = id over the whole accepted language.
+func FuzzDecodeArtifact(f *testing.F) {
+	seeds, _ := filepath.Glob(filepath.Join("testdata", "golden", "*"+Ext))
+	for _, path := range seeds {
+		if b, err := os.ReadFile(path); err == nil {
+			f.Add(b)
+		}
+	}
+	if b, err := Encode(sample(true)); err == nil {
+		f.Add(b)
+	}
+	if b, err := Encode(sample(false)); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte("OICA"))
+	f.Add([]byte("OICA\x01\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		a, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("decoded artifact fails validation: %v", err)
+		}
+		b2, err := Encode(a)
+		if err != nil {
+			t.Fatalf("decoded artifact fails to re-encode: %v", err)
+		}
+		if string(b2) != string(b) {
+			t.Fatalf("non-canonical input accepted: re-encoding differs (%d vs %d bytes)", len(b2), len(b))
+		}
+	})
+}

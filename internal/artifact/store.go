@@ -1,0 +1,150 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Ext is the on-disk artifact file extension.
+const Ext = ".oica"
+
+// Store is a content-addressed on-disk artifact catalogue: one file per
+// compiled engine, named by the hash of (config fingerprint, format
+// version), so equivalent configurations share an entry and a format bump
+// can never alias an old layout. All methods are safe for concurrent use;
+// writes go through a temp-file rename so readers never observe a
+// partial artifact.
+type Store struct {
+	dir string
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	corrupt atomic.Int64
+	writes  atomic.Int64
+}
+
+// StoreStats is a point-in-time snapshot of the store's accounting.
+type StoreStats struct {
+	Hits    int64 // Get found and decoded an entry
+	Misses  int64 // Get found no entry
+	Corrupt int64 // entries that failed decode/validation and were dropped
+	Writes  int64 // successful Puts
+}
+
+// OpenStore opens (creating if needed) the artifact store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: OpenStore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: OpenStore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the entry path for a config fingerprint under the current
+// format version.
+func (s *Store) Path(fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint + "|v" + fmt.Sprint(Version)))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+Ext)
+}
+
+// Get looks the fingerprint up. A missing entry returns (nil, nil) and
+// counts a miss; a present entry that fails to decode or validate counts
+// as corrupt, is removed so it cannot poison future lookups, and returns
+// the decode error; a healthy entry counts a hit.
+func (s *Store) Get(fingerprint string) (*Artifact, error) {
+	path := s.Path(fingerprint)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.misses.Add(1)
+			return nil, nil
+		}
+		s.corrupt.Add(1)
+		return nil, fmt.Errorf("artifact: store get: %w", err)
+	}
+	a, err := Decode(b)
+	if err != nil {
+		s.corrupt.Add(1)
+		os.Remove(path)
+		return nil, fmt.Errorf("artifact: store entry %s: %w", filepath.Base(path), err)
+	}
+	s.hits.Add(1)
+	return a, nil
+}
+
+// MarkCorrupt drops an entry the caller found inconsistent after a
+// successful decode (e.g. its embedded fingerprint does not match the
+// lookup key) and counts it.
+func (s *Store) MarkCorrupt(fingerprint string) {
+	s.corrupt.Add(1)
+	os.Remove(s.Path(fingerprint))
+}
+
+// Put encodes and persists the artifact under the fingerprint. The write
+// is atomic (temp file + rename), so a concurrent Get sees either the old
+// entry or the complete new one.
+func (s *Store) Put(fingerprint string, a *Artifact) error {
+	b, err := Encode(a)
+	if err != nil {
+		return err
+	}
+	path := s.Path(fingerprint)
+	tmp, err := os.CreateTemp(s.dir, "put-*"+Ext+".tmp")
+	if err != nil {
+		return fmt.Errorf("artifact: store put: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: store put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: store put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: store put: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Files lists the store's entry paths in sorted order (preload iterates
+// this catalogue).
+func (s *Store) Files() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: store list: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), Ext) {
+			continue
+		}
+		out = append(out, filepath.Join(s.dir, e.Name()))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats snapshots the store's hit/miss/corrupt/write counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Corrupt: s.corrupt.Load(),
+		Writes:  s.writes.Load(),
+	}
+}

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"fmt"
+
+	"oic/internal/mat"
+)
+
+// Snapshot is a stable, storage-friendly copy of an MLP's parameters:
+// layer sizes plus flat row-major weight matrices and bias vectors. It is
+// the exchange format between a live network and persisted artifacts
+// (internal/artifact); unlike the MLP itself it has no behavior and no
+// shared storage, so it can cross package and process boundaries safely.
+type Snapshot struct {
+	Sizes   []int
+	Weights [][]float64 // Weights[l] is Sizes[l+1]×Sizes[l], row-major
+	Biases  [][]float64 // Biases[l] has Sizes[l+1] entries
+}
+
+// Snapshot returns a deep copy of the network's parameters. The returned
+// snapshot shares no storage with the model, so training the model after
+// the call leaves the snapshot untouched.
+func (m *MLP) Snapshot() *Snapshot {
+	s := &Snapshot{Sizes: append([]int(nil), m.Sizes...)}
+	for l := range m.Weights {
+		s.Weights = append(s.Weights, append([]float64(nil), m.Weights[l].Data...))
+		s.Biases = append(s.Biases, append([]float64(nil), m.Biases[l]...))
+	}
+	return s
+}
+
+// Validate checks the snapshot's internal shape consistency: at least an
+// input and an output layer, one weight matrix and bias vector per layer
+// transition, and per-layer lengths matching the declared sizes.
+func (s *Snapshot) Validate() error {
+	if s == nil {
+		return fmt.Errorf("nn: nil snapshot")
+	}
+	if len(s.Sizes) < 2 {
+		return fmt.Errorf("nn: snapshot has %d sizes, need at least 2", len(s.Sizes))
+	}
+	if len(s.Weights) != len(s.Sizes)-1 || len(s.Biases) != len(s.Sizes)-1 {
+		return fmt.Errorf("nn: snapshot has %d weight and %d bias layers, want %d",
+			len(s.Weights), len(s.Biases), len(s.Sizes)-1)
+	}
+	for l := 0; l < len(s.Sizes)-1; l++ {
+		r, c := s.Sizes[l+1], s.Sizes[l]
+		if r < 1 || c < 1 {
+			return fmt.Errorf("nn: snapshot layer %d has non-positive size %d×%d", l, r, c)
+		}
+		if len(s.Weights[l]) != r*c || len(s.Biases[l]) != r {
+			return fmt.Errorf("nn: snapshot layer %d shape mismatch (%d weights, %d biases, want %d×%d)",
+				l, len(s.Weights[l]), len(s.Biases[l]), r, c)
+		}
+	}
+	return nil
+}
+
+// FromSnapshot reconstructs an MLP from a snapshot. The restored network
+// computes bit-identical forward passes to the network the snapshot was
+// taken from (same float64 parameters, same evaluation order), which is
+// what makes persisted DRL policies behaviorally equal to trained ones.
+func FromSnapshot(s *Snapshot) (*MLP, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m := &MLP{Sizes: append([]int(nil), s.Sizes...)}
+	for l := 0; l < len(s.Sizes)-1; l++ {
+		r, c := s.Sizes[l+1], s.Sizes[l]
+		w := mat.New(r, c)
+		copy(w.Data, s.Weights[l])
+		m.Weights = append(m.Weights, w)
+		m.Biases = append(m.Biases, append(mat.Vec(nil), s.Biases[l]...))
+	}
+	return m, nil
+}

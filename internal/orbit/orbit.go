@@ -118,6 +118,35 @@ func NewModel() (*Model, error) {
 	return &Model{Sys: sys, RMPC: rmpc, Sets: sets}, nil
 }
 
+// NewModelWithSets rebuilds the model around precompiled safety sets: the
+// dynamics and the RMPC program are re-derived (cheap, exact) while the
+// feasible-set projection and safe-set synthesis are skipped and the
+// supplied sets used verbatim — the artifact-load path.
+func NewModelWithSets(sets core.SafetySets) (*Model, error) {
+	if sets.X == nil || sets.XI == nil || sets.XPrime == nil {
+		return nil, fmt.Errorf("orbit: NewModelWithSets: incomplete safety sets")
+	}
+	if sets.XI.Dim() != 2 || sets.XPrime.Dim() != 2 {
+		return nil, fmt.Errorf("orbit: NewModelWithSets: sets have dimension %d, want 2", sets.XI.Dim())
+	}
+	a := mat.FromRows([][]float64{{1, Delta}, {0, 1}})
+	b := mat.FromRows([][]float64{{Delta * Delta / 2}, {Delta}})
+	sys := lti.NewSystem(a, b).WithConstraints(
+		poly.Box([]float64{-PosMax, -VelMax}, []float64{PosMax, VelMax}),
+		poly.Box([]float64{-UMax}, []float64{UMax}),
+		poly.Box([]float64{-WPosMax, -WVelMax}, []float64{WPosMax, WVelMax}),
+	)
+	rmpc, err := controller.NewRMPC(sys, controller.RMPCConfig{
+		Horizon:     DefaultHorizon,
+		StateWeight: 1,
+		InputWeight: 0.1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("orbit: NewModelWithSets: %w", err)
+	}
+	return &Model{Sys: sys, RMPC: rmpc, Sets: sets}, nil
+}
+
 // Plant implements plant.Plant; it is registered under "orbit".
 type Plant struct{}
 
@@ -265,4 +294,25 @@ func (in *Instance) RunEpisode(policy core.SkipPolicy, x0 mat.Vec, w []mat.Vec) 
 // TrainSkipPolicy implements plant.Instance via the generic DRL trainer.
 func (in *Instance) TrainSkipPolicy(cfg plant.TrainConfig) (core.SkipPolicy, rl.TrainStats, error) {
 	return plant.TrainDRL(in, cfg, EpisodeSteps)
+}
+
+// InstantiateWithSets implements plant.SetsLoader: the artifact-load path
+// that skips the feasible-set projection.
+func (Plant) InstantiateWithSets(gsc plant.Scenario, sets core.SafetySets) (plant.Instance, error) {
+	for _, sc := range scenarios() {
+		if sc.ID == gsc.ID {
+			m, err := NewModelWithSets(sets)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{m: m, sc: sc}, nil
+		}
+	}
+	return nil, fmt.Errorf("orbit: %w %q", plant.ErrUnknownScenario, gsc.ID)
+}
+
+// RestoreSkipPolicy implements plant.PolicyRestorer via the generic DRL
+// restore (the plant trains through plant.TrainDRL).
+func (in *Instance) RestoreSkipPolicy(snap *plant.PolicySnapshot) (core.SkipPolicy, error) {
+	return plant.RestoreDRLPolicy(snap)
 }

@@ -7,6 +7,7 @@ import (
 
 	"oic/internal/core"
 	"oic/internal/mat"
+	"oic/internal/nn"
 	"oic/internal/rl"
 )
 
@@ -214,26 +215,45 @@ func TrainDRL(inst Instance, cfg TrainConfig, defaultSteps int) (core.SkipPolicy
 	if err != nil {
 		return nil, stats, fmt.Errorf("plant: TrainDRL: %w", err)
 	}
-	enc := env.enc
-	policy := trainedPolicy{
-		PolicyFunc: core.PolicyFunc{
-			Fn: func(_ int, x mat.Vec, wRecent []mat.Vec) bool {
-				return agent.Greedy(enc.Encode(x, wRecent)) == 1
-			},
-			Label: "drl-ddqn",
-		},
-		memory: cfg.Memory,
-	}
+	policy := trainedPolicy{net: agent.Policy(), enc: env.enc, memory: cfg.Memory}
 	return policy, stats, nil
 }
 
-// trainedPolicy carries the disturbance-memory length the agent's encoder
-// expects, so episode runners size the session window to match
-// (MemoryPolicy).
+// trainedPolicy is a trained DRL skipping policy: the greedy argmax over
+// the online Q-network on the encoder's normalized agent state. It holds
+// the network and encoder directly (rather than a closure over the agent)
+// so the policy can be snapshotted into an artifact and restored
+// bit-identically — the restored Decide runs the exact same float64
+// pipeline as the freshly trained one. It also carries the
+// disturbance-memory length the encoder expects, so episode runners size
+// the session window to match (MemoryPolicy).
 type trainedPolicy struct {
-	core.PolicyFunc
+	net    *nn.MLP
+	enc    *Encoder
 	memory int
 }
 
+// Decide implements core.SkipPolicy: greedy action 1 ("run κ") iff
+// Q(s, run) > Q(s, skip), matching rl.DDQN.Greedy's strict argmax.
+func (p trainedPolicy) Decide(_ int, x mat.Vec, wRecent []mat.Vec) bool {
+	q := p.net.Forward(p.enc.Encode(x, wRecent))
+	return q[1] > q[0]
+}
+
+// Name implements core.SkipPolicy.
+func (p trainedPolicy) Name() string { return DRLPolicyLabel }
+
 // PolicyMemory implements MemoryPolicy.
 func (p trainedPolicy) PolicyMemory() int { return p.memory }
+
+// PolicySnapshot implements SnapshottablePolicy.
+func (p trainedPolicy) PolicySnapshot() (*PolicySnapshot, error) {
+	return &PolicySnapshot{
+		Label:   DRLPolicyLabel,
+		Memory:  p.memory,
+		Net:     p.net.Snapshot(),
+		XCenter: append([]float64(nil), p.enc.xCenter...),
+		XScale:  append([]float64(nil), p.enc.xScale...),
+		WScale:  append([]float64(nil), p.enc.wScale...),
+	}, nil
+}

@@ -1,0 +1,76 @@
+package poly
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"oic/internal/mat"
+)
+
+// Binary codec helpers for persisting polytopes inside larger wire
+// formats (internal/artifact). The layout is fixed little-endian:
+//
+//	u16 rows · u16 cols · f64×rows×cols A (row-major) · f64×rows B
+//
+// Float64s are serialized as raw IEEE-754 bits, so Encode∘Decode is the
+// identity on the float data (including NaN payloads) and a decoded
+// polytope is bit-identical to the encoded one.
+
+// EncodedBinarySize returns the exact number of bytes AppendBinary emits.
+func EncodedBinarySize(p *Polytope) int {
+	return 2 + 2 + 8*p.A.R*p.A.C + 8*p.A.R
+}
+
+// AppendBinary appends p's binary form to buf and returns the extended
+// slice. Dimensions beyond uint16 cannot be represented and panic; the
+// polytopes in this codebase are orders of magnitude smaller.
+func AppendBinary(buf []byte, p *Polytope) []byte {
+	if p.A.R > math.MaxUint16 || p.A.C > math.MaxUint16 {
+		panic(fmt.Sprintf("poly: AppendBinary: %d×%d exceeds uint16 dimensions", p.A.R, p.A.C))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(p.A.R))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(p.A.C))
+	for _, v := range p.A.Data {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range p.B {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeBinary parses one polytope from the front of b and returns it
+// together with the number of bytes consumed. Rows and columns must lie
+// in [1, maxRows] and [1, maxCols]; every length is checked against the
+// remaining input before any allocation, so a hostile prefix cannot make
+// the decoder allocate more than the input could justify.
+func DecodeBinary(b []byte, maxRows, maxCols int) (*Polytope, int, error) {
+	if len(b) < 4 {
+		return nil, 0, fmt.Errorf("poly: decode: truncated header (%d bytes)", len(b))
+	}
+	rows := int(binary.LittleEndian.Uint16(b[0:2]))
+	cols := int(binary.LittleEndian.Uint16(b[2:4]))
+	if rows < 1 || rows > maxRows {
+		return nil, 0, fmt.Errorf("poly: decode: %d rows outside [1,%d]", rows, maxRows)
+	}
+	if cols < 1 || cols > maxCols {
+		return nil, 0, fmt.Errorf("poly: decode: %d cols outside [1,%d]", cols, maxCols)
+	}
+	need := 4 + 8*rows*cols + 8*rows
+	if len(b) < need {
+		return nil, 0, fmt.Errorf("poly: decode: %d×%d polytope needs %d bytes, have %d", rows, cols, need, len(b))
+	}
+	a := mat.New(rows, cols)
+	off := 4
+	for i := range a.Data {
+		a.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off : off+8]))
+		off += 8
+	}
+	bv := make(mat.Vec, rows)
+	for i := range bv {
+		bv[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off : off+8]))
+		off += 8
+	}
+	return New(a, bv), off, nil
+}

@@ -94,6 +94,36 @@ func (b *SkipBudget) Max() int { return len(b.chain) }
 // Sets returns the underlying chain S₁ … S_m (shared; do not mutate).
 func (b *SkipBudget) Sets() []*poly.Polytope { return b.chain }
 
+// ValidateSkipChain checks that a chain S₁ … S_m (e.g. one decoded from a
+// persisted artifact) has the monotonicity ConsecutiveSkipSets guarantees
+// by construction: every set is nonempty, shares one ambient dimension,
+// and S_{k+1} ⊆ S_k within tol. BudgetFromChain's binary search is only
+// correct on a monotone chain, so loaders must validate before wrapping
+// untrusted bytes in an oracle.
+func ValidateSkipChain(chain []*poly.Polytope, tol float64) error {
+	for i, s := range chain {
+		if s == nil {
+			return fmt.Errorf("reach: skip chain S_%d is nil", i+1)
+		}
+		if s.Dim() != chain[0].Dim() {
+			return fmt.Errorf("reach: skip chain S_%d has dimension %d, S_1 has %d", i+1, s.Dim(), chain[0].Dim())
+		}
+		if s.IsEmpty() {
+			return fmt.Errorf("reach: skip chain S_%d is empty", i+1)
+		}
+		if i > 0 {
+			nested, err := chain[i-1].Covers(s, tol)
+			if err != nil {
+				return fmt.Errorf("reach: skip chain S_%d ⊆ S_%d check: %w", i+1, i, err)
+			}
+			if !nested {
+				return fmt.Errorf("reach: skip chain not monotone: S_%d ⊄ S_%d", i+1, i)
+			}
+		}
+	}
+	return nil
+}
+
 // Remaining returns the largest k with x ∈ S_k — the number of consecutive
 // skipped control steps the state is certified to absorb while staying
 // inside XI under every admissible disturbance — or 0 when x ∉ S₁ = X′

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"oic/pkg/oic"
+)
+
+// TestHealthzPreloading pins the readiness contract: /healthz answers
+// 503 with a "preloading" marker from the moment BeginPreload returns
+// until its runner finishes, and 200 on both sides of the window — load
+// balancers hold traffic while a warm boot materializes the catalogue.
+func TestHealthzPreloading(t *testing.T) {
+	srv, c := newTestServer(t, Config{})
+	if err := srv.OpenArtifactStore(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+
+	var hz map[string]any
+	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusOK || hz["ok"] != true {
+		t.Fatalf("healthz before preload: %d %v", st, hz)
+	}
+
+	run, err := srv.BeginPreload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not ready from the moment BeginPreload returns — no startup window
+	// in which an LB could route to a cold cache.
+	hz = nil
+	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during preload: status %d, want 503", st)
+	}
+	if hz["ok"] != false || hz["preloading"] != true {
+		t.Fatalf("healthz during preload: %v", hz)
+	}
+
+	if n, err := run(); err != nil || n != 0 {
+		t.Fatalf("preload of empty store = (%d, %v), want (0, nil)", n, err)
+	}
+	hz = nil
+	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusOK || hz["ok"] != true {
+		t.Fatalf("healthz after preload: %d %v", st, hz)
+	}
+}
+
+// TestHealthzPreloadWithoutStore: BeginPreload without a store is a
+// configuration error and must not wedge readiness.
+func TestHealthzPreloadWithoutStore(t *testing.T) {
+	srv, c := newTestServer(t, Config{})
+	if _, err := srv.BeginPreload(); err == nil {
+		t.Fatal("BeginPreload without a store succeeded")
+	}
+	if st := c.do("GET", "/healthz", nil, nil); st != http.StatusOK {
+		t.Fatalf("healthz after failed BeginPreload: status %d", st)
+	}
+}
+
+// corruptEntry truncates a store file to half its length, simulating a
+// torn write from a crashed process or a damaged disk.
+func corruptEntry(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func createSession(t *testing.T, c *client, req oic.CreateSessionRequest) oic.SessionInfo {
+	t.Helper()
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", req, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d (%+v)", st, info)
+	}
+	return info
+}
+
+// TestServerArtifactStore drives the full cache hierarchy: the first
+// server builds an engine and writes the artifact back; a second server
+// sharing the directory serves the same configuration from the store
+// without compiling anything; a third preloads the catalogue at boot and
+// serves the first session without even a store lookup.
+func TestServerArtifactStore(t *testing.T) {
+	dir := t.TempDir()
+	req := oic.CreateSessionRequest{Plant: "thermo", Policy: oic.PolicyBangBang, Seed: 5}
+
+	// Cold server: miss, build, write-back.
+	srvA, cA := newTestServer(t, Config{})
+	if err := srvA.OpenArtifactStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	createSession(t, cA, req)
+	if got := srvA.m.enginesBuilt.Load(); got != 1 {
+		t.Fatalf("server A built %d engines, want 1", got)
+	}
+	stats := srvA.ArtifactStats()
+	if stats.Misses != 1 || stats.Writes != 1 || stats.Hits != 0 {
+		t.Fatalf("server A store stats %+v, want one miss and one write", stats)
+	}
+
+	// Warm server: hit, no build.
+	srvB, cB := newTestServer(t, Config{})
+	if err := srvB.OpenArtifactStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	createSession(t, cB, req)
+	if got := srvB.m.enginesBuilt.Load(); got != 0 {
+		t.Errorf("server B built %d engines, want 0 (artifact hit)", got)
+	}
+	if got := srvB.m.enginesLoaded.Load(); got != 1 {
+		t.Errorf("server B loaded %d engines, want 1", got)
+	}
+	if stats := srvB.ArtifactStats(); stats.Hits != 1 {
+		t.Errorf("server B store stats %+v, want one hit", stats)
+	}
+
+	// Preloaded server: the engine is live before the first request.
+	srvC, cC := newTestServer(t, Config{})
+	if err := srvC.OpenArtifactStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	run, err := srvC.BeginPreload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := run(); err != nil || n != 1 {
+		t.Fatalf("preload = (%d, %v), want (1, nil)", n, err)
+	}
+	createSession(t, cC, req)
+	if got := srvC.m.enginesBuilt.Load(); got != 0 {
+		t.Errorf("server C built %d engines after preload, want 0", got)
+	}
+	if got := srvC.m.artifactPreloaded.Load(); got != 1 {
+		t.Errorf("server C preloaded %d engines, want 1", got)
+	}
+	if stats := srvC.ArtifactStats(); stats.Hits != 0 || stats.Misses != 0 {
+		t.Errorf("server C store stats %+v, want no lookups (cache pre-fired)", stats)
+	}
+
+	// The artifact counters are on the scrape surface.
+	reqM, _ := http.NewRequest("GET", cC.base+"/metrics", nil)
+	resp, err := cC.hc.Do(reqM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{
+		"oicd_engines_loaded_total",
+		"oicd_artifact_hits_total",
+		"oicd_artifact_misses_total",
+		"oicd_artifact_corrupt_total",
+		"oicd_artifact_writes_total",
+		"oicd_artifact_preloaded_total 1",
+	} {
+		if !strings.Contains(string(raw), metric) {
+			t.Errorf("metrics missing %q", metric)
+		}
+	}
+}
+
+// TestServerCorruptArtifactFallsBack: a damaged store entry degrades to
+// an in-process build — never a failed request — and is dropped and
+// counted so the rebuilt engine's write-back heals the store.
+func TestServerCorruptArtifactFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	req := oic.CreateSessionRequest{Plant: "thermo", Policy: oic.PolicyBangBang, Seed: 5}
+
+	srvA, cA := newTestServer(t, Config{})
+	if err := srvA.OpenArtifactStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	createSession(t, cA, req)
+
+	// Truncate the single stored entry.
+	files, err := srvA.store.Files()
+	if err != nil || len(files) != 1 {
+		t.Fatalf("store files = (%v, %v)", files, err)
+	}
+	corruptEntry(t, files[0])
+
+	srvB, cB := newTestServer(t, Config{})
+	if err := srvB.OpenArtifactStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	createSession(t, cB, req)
+	if got := srvB.m.enginesBuilt.Load(); got != 1 {
+		t.Errorf("corrupt entry: server built %d engines, want 1 (fallback)", got)
+	}
+	stats := srvB.ArtifactStats()
+	if stats.Corrupt != 1 {
+		t.Errorf("store stats %+v, want one corrupt entry", stats)
+	}
+	// The write-back after the rebuild healed the store.
+	if stats.Writes != 1 {
+		t.Errorf("store stats %+v, want one healing write", stats)
+	}
+}

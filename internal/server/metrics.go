@@ -17,6 +17,9 @@ type metrics struct {
 	sessionsEvicted atomic.Int64
 	enginesBuilt    atomic.Int64
 
+	enginesLoaded     atomic.Int64 // engines restored from the artifact store on demand
+	artifactPreloaded atomic.Int64 // engines materialized by -preload at boot
+
 	steps      atomic.Int64 // executed steps (single + batched)
 	skips      atomic.Int64 // steps with z = 0
 	forced     atomic.Int64 // monitor-forced runs
@@ -64,7 +67,7 @@ type fleetGauge struct {
 }
 
 // render writes the Prometheus text exposition.
-func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []fleetGauge) {
+func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []fleetGauge, store oic.ArtifactStoreStats) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -85,6 +88,12 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 	counter("oicd_sessions_closed_total", "sessions closed by clients", m.sessionsClosed.Load())
 	counter("oicd_sessions_evicted_total", "sessions evicted by the TTL janitor", m.sessionsEvicted.Load())
 	counter("oicd_engines_built_total", "engines compiled", m.enginesBuilt.Load())
+	counter("oicd_engines_loaded_total", "engines restored from the artifact store", m.enginesLoaded.Load())
+	counter("oicd_artifact_hits_total", "artifact store lookups that found a healthy entry", store.Hits)
+	counter("oicd_artifact_misses_total", "artifact store lookups that found no entry", store.Misses)
+	counter("oicd_artifact_corrupt_total", "artifact store entries dropped as corrupt", store.Corrupt)
+	counter("oicd_artifact_writes_total", "artifacts written back after engine builds", store.Writes)
+	counter("oicd_artifact_preloaded_total", "engines materialized from artifacts at boot", m.artifactPreloaded.Load())
 	counter("oicd_steps_total", "control steps executed", m.steps.Load())
 	counter("oicd_skips_total", "steps that skipped the controller (z=0)", m.skips.Load())
 	counter("oicd_forced_total", "runs forced by the safety monitor", m.forced.Load())

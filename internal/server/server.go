@@ -29,7 +29,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"oic/internal/plant"
 	"oic/pkg/oic"
 )
 
@@ -107,6 +106,12 @@ type Server struct {
 	nextFleetID uint64
 
 	m metrics
+
+	// store is the optional on-disk artifact catalogue (OpenArtifactStore);
+	// nil means every engine is built in-process. preloading gates /healthz
+	// readiness while BeginPreload materializes the catalogue.
+	store      *oic.ArtifactStore
+	preloading atomic.Bool
 
 	stopJanitor chan struct{}
 	janitorWG   sync.WaitGroup
@@ -252,43 +257,14 @@ func validateCreate(req *oic.CreateSessionRequest) error {
 	return nil
 }
 
-// canonicalize resolves the request defaults NewEngine would apply, so
-// semantically identical configurations share one cache slot: empty
-// policy means bang-bang, empty scenario means the plant's headline,
-// training parameters only matter for the DRL policy, and a memory equal
-// to the untrained-policy default (or any non-positive value) folds to 0.
-func canonicalize(cfg oic.Config) oic.Config {
-	if cfg.Policy == "" {
-		cfg.Policy = oic.PolicyBangBang
-	}
-	if cfg.Policy != oic.PolicyDRL {
-		cfg.Train = oic.TrainConfig{}
-	}
-	// Memory ≤ 0 and the explicit default are the same engine for every
-	// policy: untrained policies resolve to DefaultMemory, and DRL
-	// training folds Memory 0 → DefaultMemory before building the encoder.
-	if cfg.Memory < 0 || cfg.Memory == plant.DefaultMemory {
-		cfg.Memory = 0
-	}
-	if cfg.Scenario == "" {
-		if p, err := plant.Get(cfg.Plant); err == nil {
-			cfg.Scenario = p.Headline().ID
-		}
-	}
-	return cfg
-}
-
-// engineKey canonicalizes a session request's engine configuration.
-func engineKey(cfg oic.Config) string {
-	return fmt.Sprintf("%s|%s|%s|m%d|e%d|s%d|seed%d",
-		cfg.Plant, cfg.Scenario, cfg.Policy, cfg.Memory,
-		cfg.Train.Episodes, cfg.Train.Steps, cfg.Train.Seed)
-}
-
 // engine returns the cached engine for cfg, building it on first use.
+// Configs canonicalize (oic.Config.Canonical) so semantically identical
+// requests share one cache slot, and the cache key is the same
+// fingerprint the artifact store is addressed by: a store hit restores
+// the engine from disk instead of recompiling sets and retraining.
 func (s *Server) engine(cfg oic.Config) (*oic.Engine, error) {
-	cfg = canonicalize(cfg)
-	key := engineKey(cfg)
+	cfg = cfg.Canonical()
+	key := cfg.Fingerprint()
 	s.mu.Lock()
 	slot, ok := s.engines[key]
 	if !ok {
@@ -301,9 +277,14 @@ func (s *Server) engine(cfg oic.Config) (*oic.Engine, error) {
 	}
 	s.mu.Unlock()
 	slot.once.Do(func() {
+		if eng, ok := s.loadFromStore(key); ok {
+			slot.eng = eng
+			return
+		}
 		slot.eng, slot.err = oic.NewEngine(cfg)
 		if slot.err == nil {
 			s.m.enginesBuilt.Add(1)
+			s.writeBack(key, slot.eng)
 		}
 	})
 	if slot.err != nil {
@@ -335,6 +316,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	engines := len(s.engines)
 	fleets := len(s.fleets)
 	s.mu.Unlock()
+	// Readiness: while -preload is still materializing the artifact
+	// catalogue, report 503 so load balancers hold traffic until every
+	// preloaded engine serves without an in-request build.
+	if s.preloading.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ok":         false,
+			"preloading": true,
+			"sessions":   live,
+			"engines":    engines,
+			"fleets":     fleets,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":       true,
 		"sessions": live,
@@ -360,7 +354,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		gauges[i] = fleetGauge{id: fe.id, stats: fe.f.Stats()}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.render(w, live, engines, gauges)
+	s.m.render(w, live, engines, gauges, s.ArtifactStats())
 }
 
 func (s *Server) handlePlants(w http.ResponseWriter, _ *http.Request) {

@@ -116,6 +116,35 @@ func NewModel() (*Model, error) {
 	return &Model{Sys: sys, Gain: k, Kappa: kappa, Sets: sets}, nil
 }
 
+// NewModelWithSets rebuilds the model around precompiled safety sets:
+// the dynamics and the LQR feedback are re-derived (cheap, exact), while
+// the expensive invariant-set fixpoint and safe-set synthesis are skipped
+// and the supplied sets used verbatim — the artifact-load path.
+func NewModelWithSets(sets core.SafetySets) (*Model, error) {
+	if sets.X == nil || sets.XI == nil || sets.XPrime == nil {
+		return nil, fmt.Errorf("thermo: NewModelWithSets: incomplete safety sets")
+	}
+	if sets.XI.Dim() != 2 || sets.XPrime.Dim() != 2 {
+		return nil, fmt.Errorf("thermo: NewModelWithSets: sets have dimension %d, want 2", sets.XI.Dim())
+	}
+	a := mat.FromRows([][]float64{
+		{0.96, 0.05},
+		{0.00, 0.90},
+	})
+	b := mat.FromRows([][]float64{{0}, {0.12}})
+	sys := lti.NewSystem(a, b).WithConstraints(
+		poly.Box([]float64{-ComfortBand, -CoreBand}, []float64{ComfortBand, CoreBand}),
+		poly.Box([]float64{-PowerMax}, []float64{PowerMax}),
+		poly.Box([]float64{-WTempMax, -WCoreMax}, []float64{WTempMax, WCoreMax}),
+	)
+	k, err := controller.LQR(sys.A, sys.B,
+		mat.Diag([]float64{4, 0.2}), mat.Identity(1), 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("thermo: NewModelWithSets: LQR: %w", err)
+	}
+	return &Model{Sys: sys, Gain: k, Kappa: controller.NewAffineFeedback(k, nil, nil), Sets: sets}, nil
+}
+
 // Plant implements plant.Plant; it is registered under "thermo".
 type Plant struct{}
 
@@ -262,4 +291,25 @@ func (in *Instance) RunEpisode(policy core.SkipPolicy, x0 mat.Vec, w []mat.Vec) 
 // TrainSkipPolicy implements plant.Instance via the generic DRL trainer.
 func (in *Instance) TrainSkipPolicy(cfg plant.TrainConfig) (core.SkipPolicy, rl.TrainStats, error) {
 	return plant.TrainDRL(in, cfg, EpisodeSteps)
+}
+
+// InstantiateWithSets implements plant.SetsLoader: the artifact-load path
+// that skips the invariant-set fixpoint.
+func (Plant) InstantiateWithSets(gsc plant.Scenario, sets core.SafetySets) (plant.Instance, error) {
+	for _, sc := range scenarios() {
+		if sc.ID == gsc.ID {
+			m, err := NewModelWithSets(sets)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{m: m, sc: sc}, nil
+		}
+	}
+	return nil, fmt.Errorf("thermo: %w %q", plant.ErrUnknownScenario, gsc.ID)
+}
+
+// RestoreSkipPolicy implements plant.PolicyRestorer via the generic DRL
+// restore (the thermostat trains through plant.TrainDRL).
+func (in *Instance) RestoreSkipPolicy(snap *plant.PolicySnapshot) (core.SkipPolicy, error) {
+	return plant.RestoreDRLPolicy(snap)
 }
