@@ -22,8 +22,11 @@
 //	              store) for warm oicd boots and `oic import` (DESIGN.md §9)
 //	oic import  — load a .oica artifact (-artifact), verify it reconstructs
 //	              a serving engine, and optionally file it into -artifact-dir
+//	oic journal — inspect an oicd write-ahead journal directory
+//	              (-journal-dir): fold its segments and report every
+//	              session and fleet with its replay position (DESIGN.md §10)
 //	oic all     — everything above except fleet, record, replay, export,
-//	              and import
+//	              import, and journal
 //
 // Every experiment is seeded and deterministic for a fixed -seed and
 // -workers-independent. Use -csv to additionally emit raw per-case data.
@@ -49,6 +52,7 @@ import (
 	"time"
 
 	"oic/internal/exp"
+	"oic/internal/journal"
 	"oic/internal/plant"
 	"oic/internal/reach"
 	"oic/pkg/oic"
@@ -83,9 +87,10 @@ func main() {
 	auditFlag := fs.Bool("audit", true, "replay: re-verify the recorded trace with the offline auditor")
 	artifactFile := fs.String("artifact", "", "import: compiled engine artifact file (.oica)")
 	artifactDir := fs.String("artifact-dir", "", "export/import: also write the artifact into this content-addressed store (oicd -artifact-dir)")
+	journalDir := fs.String("journal-dir", "", "journal: oicd write-ahead journal directory to inspect")
 
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|fleet|record|replay|export|import|all [flags]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|fleet|record|replay|export|import|journal|all [flags]\n\n")
 		fs.PrintDefaults()
 	}
 	// Parse flags first, then take the first positional argument as the
@@ -165,6 +170,20 @@ func main() {
 		}
 		if err := doImport(*artifactFile, *artifactDir, emit); err != nil {
 			fmt.Fprintf(os.Stderr, "oic: import: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if cmd == "journal" {
+		// Journal inspection needs no -plant: the records carry their own
+		// engine fingerprints.
+		if *journalDir == "" {
+			fmt.Fprintln(os.Stderr, "oic: journal requires -journal-dir DIR")
+			os.Exit(2)
+		}
+		if err := doJournal(*journalDir, emit); err != nil {
+			fmt.Fprintf(os.Stderr, "oic: journal: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -743,4 +762,91 @@ func listPlants() {
 			fmt.Printf("  %-8s ladder %q: %s\n", "", l.Name, strings.Join(ids, ", "))
 		}
 	}
+}
+
+// doJournal folds an oicd write-ahead journal directory and reports what a
+// recovery would rebuild: every session and fleet the journal knows, its
+// replay position, and the directory-level accounting (segments, records,
+// torn tails, orphans). Read-only — inspection never truncates a torn
+// tail on disk or mutates a segment.
+func doJournal(dir string, emit func(doc any, text string) error) error {
+	rv, err := journal.Recover(dir)
+	if err != nil {
+		return err
+	}
+	rv.SortMembers()
+	liveSessions, liveFleets := rv.Live()
+
+	var text strings.Builder
+	fmt.Fprintf(&text, "journal %s: %d segment(s), %d record(s)", dir, rv.Segments, rv.Records)
+	if rv.TornTails > 0 {
+		fmt.Fprintf(&text, ", %d torn tail(s)", rv.TornTails)
+	}
+	if rv.Orphans > 0 {
+		fmt.Fprintf(&text, ", %d orphan record(s)", rv.Orphans)
+	}
+	fmt.Fprintf(&text, "\n")
+
+	type sessionDoc struct {
+		ID     string `json:"id"`
+		Plant  string `json:"plant"`
+		Policy string `json:"policy"`
+		Steps  int    `json:"steps"`
+		Closed bool   `json:"closed,omitempty"`
+	}
+	type fleetDoc struct {
+		ID      string `json:"id"`
+		Plant   string `json:"plant"`
+		Policy  string `json:"policy"`
+		Budget  int    `json:"compute_budget"`
+		Members int    `json:"members"`
+		Live    int    `json:"live_members"`
+		Steps   int    `json:"steps"`
+		Closed  bool   `json:"closed,omitempty"`
+	}
+	sessions := make([]sessionDoc, 0, len(rv.Sessions))
+	for _, st := range rv.Sessions {
+		sessions = append(sessions, sessionDoc{
+			ID: st.ID, Plant: st.Meta.Plant, Policy: st.Meta.Policy,
+			Steps: len(st.Steps), Closed: st.Closed,
+		})
+		state := "open"
+		if st.Closed {
+			state = "closed"
+		}
+		fmt.Fprintf(&text, "  session %-8s %s/%s %s  %4d step(s)  %s\n",
+			st.ID, st.Meta.Plant, st.Meta.Scenario, st.Meta.Policy, len(st.Steps), state)
+	}
+	fleets := make([]fleetDoc, 0, len(rv.Fleets))
+	for _, fs := range rv.Fleets {
+		live, steps := 0, 0
+		for _, m := range fs.Members {
+			if !m.Evicted {
+				live++
+			}
+			steps += len(m.Steps)
+		}
+		fleets = append(fleets, fleetDoc{
+			ID: fs.ID, Plant: fs.Meta.Plant, Policy: fs.Meta.Policy,
+			Budget: fs.Budget, Members: len(fs.Members), Live: live,
+			Steps: steps, Closed: fs.Closed,
+		})
+		state := "open"
+		if fs.Closed {
+			state = "closed"
+		}
+		fmt.Fprintf(&text, "  fleet   %-8s %s/%s %s  budget %d  %d member(s) (%d live)  %d step(s)  %s\n",
+			fs.ID, fs.Meta.Plant, fs.Meta.Scenario, fs.Meta.Policy,
+			fs.Budget, len(fs.Members), live, steps, state)
+	}
+	fmt.Fprintf(&text, "  replay-to-head would resume %d session(s) and %d fleet(s)\n",
+		liveSessions, liveFleets)
+
+	return emit(map[string]any{
+		"kind": "journal", "dir": dir,
+		"segments": rv.Segments, "records": rv.Records,
+		"torn_tails": rv.TornTails, "orphans": rv.Orphans,
+		"live_sessions": liveSessions, "live_fleets": liveFleets,
+		"sessions": sessions, "fleets": fleets,
+	}, text.String())
 }

@@ -9,10 +9,16 @@
 // README.md for a curl transcript and DESIGN.md §6–§7 for the
 // architecture.
 //
+// Crash safety: with -journal-dir every acknowledged step is write-ahead
+// journaled, and a restart replays the journal to head — /healthz holds
+// 503 {"recovering":true} until every pre-crash session is byte-for-byte
+// back (DESIGN.md §10).
+//
 // Usage:
 //
 //	oicd [-addr :8080] [-ttl 15m] [-max-sessions 4096] [-max-fleets 16]
-//	     [-pprof 127.0.0.1:6060]
+//	     [-journal-dir /var/lib/oicd/journal] [-journal-sync step]
+//	     [-request-timeout 30s] [-pprof 127.0.0.1:6060]
 package main
 
 import (
@@ -28,6 +34,8 @@ import (
 	"syscall"
 	"time"
 
+	"oic/internal/fault"
+	"oic/internal/journal"
 	"oic/internal/server"
 
 	// Register the case studies.
@@ -49,14 +57,28 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 	artifactDir := flag.String("artifact-dir", "", "on-disk engine artifact store: check before building engines, write back after; empty disables")
 	preload := flag.Bool("preload", false, "materialize every artifact in -artifact-dir into the engine cache at boot (/healthz reports 503 until done)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request handling deadline; expiry returns 503 {\"code\":\"deadline\"} (0 disables)")
+	journalDir := flag.String("journal-dir", "", "write-ahead journal directory: every acknowledged step is journaled, and a restart replays the journal to head before serving; empty disables")
+	journalSync := flag.String("journal-sync", "step", "journal fsync policy: step (every append), tick (once per step/tick request), interval, or none")
+	faultSpec := flag.String("fault", "", "deterministic fault injection spec, e.g. \"artifact.read=first:2,journal.append=0.01,sched.compute=after:500\"; empty disables")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the -fault decision streams")
 	flag.Parse()
 
 	srv := server.New(server.Config{
 		SessionTTL: *ttl, MaxSessions: *maxSessions,
 		MaxEngines: *maxEngines, MaxFleets: *maxFleets,
+		RequestTimeout: *requestTimeout,
 	})
 	srv.StartJanitor()
 
+	if *faultSpec != "" {
+		inj, err := fault.Parse(*faultSeed, *faultSpec)
+		if err != nil {
+			log.Fatalf("oicd: -fault: %v", err)
+		}
+		srv.SetFaults(inj)
+		log.Printf("oicd: %s", inj)
+	}
 	if *preload && *artifactDir == "" {
 		log.Fatalf("oicd: -preload requires -artifact-dir")
 	}
@@ -65,6 +87,33 @@ func main() {
 			log.Fatalf("oicd: -artifact-dir: %v", err)
 		}
 		log.Printf("oicd: artifact store at %s", *artifactDir)
+	}
+	if *journalDir != "" {
+		policy, err := journal.ParsePolicy(*journalSync)
+		if err != nil {
+			log.Fatalf("oicd: -journal-sync: %v", err)
+		}
+		if err := srv.OpenJournal(journal.Options{Dir: *journalDir, Policy: policy}); err != nil {
+			log.Fatalf("oicd: -journal-dir: %v", err)
+		}
+		log.Printf("oicd: journal at %s (sync policy %s)", *journalDir, policy)
+		run, err := srv.BeginJournalRecovery(*journalDir)
+		if err != nil {
+			log.Fatalf("oicd: journal recovery: %v", err)
+		}
+		// Serve (503 on /healthz and the create endpoints) while replay
+		// runs, so a restart holds traffic until the pre-crash state is
+		// byte-for-byte back.
+		go func() {
+			rep, err := run()
+			if err != nil {
+				log.Printf("oicd: journal recovery: %v", err)
+				return
+			}
+			log.Printf("oicd: recovered %d session(s), %d fleet(s) (%d member(s)), %d step(s) replayed; %d skipped, %d failed (%d segment(s), %d record(s), %d torn tail(s), %d orphan(s))",
+				rep.Sessions, rep.Fleets, rep.Members, rep.StepsReplayed,
+				rep.Skipped, rep.Failed, rep.Segments, rep.Records, rep.TornTails, rep.Orphans)
+		}()
 	}
 	if *preload {
 		run, err := srv.BeginPreload()

@@ -4,15 +4,28 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
+
+	"oic/internal/fault"
 )
 
 // Ext is the on-disk artifact file extension.
 const Ext = ".oica"
+
+// Retry policy for transient read failures: a Get re-reads up to
+// MaxReadRetries times with exponential backoff plus full jitter before
+// giving up. Missing entries and decode failures are terminal outcomes,
+// never retried.
+const (
+	MaxReadRetries = 3
+	retryBaseDelay = 2 * time.Millisecond
+)
 
 // Store is a content-addressed on-disk artifact catalogue: one file per
 // compiled engine, named by the hash of (config fingerprint, format
@@ -21,12 +34,15 @@ const Ext = ".oica"
 // writes go through a temp-file rename so readers never observe a
 // partial artifact.
 type Store struct {
-	dir string
+	dir    string
+	faults *fault.Injector          // nil-safe deterministic fault injection
+	sleep  func(d time.Duration)    // test seam; nil means time.Sleep
 
 	hits    atomic.Int64
 	misses  atomic.Int64
 	corrupt atomic.Int64
 	writes  atomic.Int64
+	retries atomic.Int64
 }
 
 // StoreStats is a point-in-time snapshot of the store's accounting.
@@ -35,6 +51,7 @@ type StoreStats struct {
 	Misses  int64 // Get found no entry
 	Corrupt int64 // entries that failed decode/validation and were dropped
 	Writes  int64 // successful Puts
+	Retries int64 // transient read failures absorbed by the retry loop
 }
 
 // OpenStore opens (creating if needed) the artifact store rooted at dir.
@@ -51,6 +68,11 @@ func OpenStore(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// SetFaults installs (or clears, with nil) a deterministic fault injector
+// on the store's I/O sites (fault.SiteArtifactRead / SiteArtifactWrite).
+// Call before handing the store to concurrent users.
+func (s *Store) SetFaults(inj *fault.Injector) { s.faults = inj }
+
 // Path returns the entry path for a config fingerprint under the current
 // format version.
 func (s *Store) Path(fingerprint string) string {
@@ -59,19 +81,30 @@ func (s *Store) Path(fingerprint string) string {
 }
 
 // Get looks the fingerprint up. A missing entry returns (nil, nil) and
-// counts a miss; a present entry that fails to decode or validate counts
-// as corrupt, is removed so it cannot poison future lookups, and returns
-// the decode error; a healthy entry counts a hit.
+// counts a miss; a transient read failure is retried up to MaxReadRetries
+// times with jittered exponential backoff (each absorbed failure counts a
+// retry) before surfacing; a present entry that fails to decode or
+// validate counts as corrupt, is removed so it cannot poison future
+// lookups, and returns the decode error; a healthy entry counts a hit.
 func (s *Store) Get(fingerprint string) (*Artifact, error) {
 	path := s.Path(fingerprint)
-	b, err := os.ReadFile(path)
-	if err != nil {
+	var b []byte
+	for attempt := 0; ; attempt++ {
+		var err error
+		b, err = s.readFile(path)
+		if err == nil {
+			break
+		}
 		if os.IsNotExist(err) {
 			s.misses.Add(1)
 			return nil, nil
 		}
-		s.corrupt.Add(1)
-		return nil, fmt.Errorf("artifact: store get: %w", err)
+		if attempt >= MaxReadRetries {
+			s.corrupt.Add(1)
+			return nil, fmt.Errorf("artifact: store get (after %d retries): %w", attempt, err)
+		}
+		s.retries.Add(1)
+		s.backoff(attempt)
 	}
 	a, err := Decode(b)
 	if err != nil {
@@ -81,6 +114,26 @@ func (s *Store) Get(fingerprint string) (*Artifact, error) {
 	}
 	s.hits.Add(1)
 	return a, nil
+}
+
+// readFile is one read attempt through the fault-injection site.
+func (s *Store) readFile(path string) ([]byte, error) {
+	if err := s.faults.Hit(fault.SiteArtifactRead); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// backoff sleeps retryBaseDelay·2^attempt plus a full-jitter term of the
+// same magnitude, decorrelating concurrent retriers.
+func (s *Store) backoff(attempt int) {
+	d := retryBaseDelay << attempt
+	d += time.Duration(rand.Int63n(int64(d)))
+	if s.sleep != nil {
+		s.sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // MarkCorrupt drops an entry the caller found inconsistent after a
@@ -98,6 +151,9 @@ func (s *Store) Put(fingerprint string, a *Artifact) error {
 	b, err := Encode(a)
 	if err != nil {
 		return err
+	}
+	if err := s.faults.Hit(fault.SiteArtifactWrite); err != nil {
+		return fmt.Errorf("artifact: store put: %w", err)
 	}
 	path := s.Path(fingerprint)
 	tmp, err := os.CreateTemp(s.dir, "put-*"+Ext+".tmp")
@@ -146,5 +202,6 @@ func (s *Store) Stats() StoreStats {
 		Misses:  s.misses.Load(),
 		Corrupt: s.corrupt.Load(),
 		Writes:  s.writes.Load(),
+		Retries: s.retries.Load(),
 	}
 }

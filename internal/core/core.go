@@ -183,6 +183,7 @@ type Result struct {
 	Skips           int     // steps with z = 0
 	Runs            int     // steps with z = 1
 	Forced          int     // runs forced by the monitor
+	Degraded        int     // optional κ failures downgraded to safe skips
 	ViolationsX     int     // states outside X (Theorem 1: must be 0)
 	ViolationsXI    int     // states outside XI (Theorem 1: must be 0)
 	ControllerCalls int
@@ -264,10 +265,11 @@ type Session struct {
 	xNext  mat.Vec // successor scratch, swapped with x each step
 	zeroU  mat.Vec // the skip input; never written
 	t      int
-	wHist  []mat.Vec // ring of owned buffers, most recent last
-	record bool
-	closed bool
-	Result *Result
+	wHist   []mat.Vec // ring of owned buffers, most recent last
+	record  bool
+	degrade bool
+	closed  bool
+	Result  *Result
 }
 
 // NewSession starts a run at x0, which must lie inside XI (Algorithm 1,
@@ -307,6 +309,16 @@ func (f *Framework) NewSession(x0 mat.Vec) (*Session, error) {
 // tests, and long-running serving sessions use (records would otherwise
 // grow without bound).
 func (s *Session) SetRecording(on bool) { s.record = on }
+
+// SetDegrade toggles degraded mode (off by default). With it on, a κ
+// failure on an *optional* compute — the policy wanted κ but the monitor
+// did not mandate it, so x ∈ X′ — downgrades the step to the
+// guaranteed-safe zero-input skip (Theorem 1 covers it) and counts in
+// Result.Degraded, instead of terminally closing the session. A failure
+// on a monitor-forced compute stays terminal: there the zero input has
+// no safety certificate, so surviving it would trade away exactly the
+// guarantee the framework exists to keep.
+func (s *Session) SetDegrade(on bool) { s.degrade = on }
 
 // State returns an owned snapshot of the current state.
 func (s *Session) State() mat.Vec { return s.x.Clone() }
@@ -373,6 +385,7 @@ func (s *Session) Reset(x0 mat.Vec) error {
 	}
 	s.t = 0
 	s.record = true
+	s.degrade = false
 	s.closed = false
 	s.Result = &Result{}
 	return nil
@@ -428,15 +441,24 @@ func (s *Session) step(w mat.Vec, choice *bool) (StepRecord, error) {
 		tCtl := time.Now()
 		uc, err := s.kappa.Compute(s.x)
 		res.CtrlTime += time.Since(tCtl)
-		if err != nil {
-			// A κ failure is terminal: the session has no admissible input
-			// to apply, so it closes and every further Step reports
-			// ErrSessionClosed instead of undefined behavior on reuse.
+		switch {
+		case err == nil:
+			u = uc
+			res.ControllerCalls++
+		case s.degrade && !forced:
+			// Degraded mode: the compute was optional (x ∈ X′), so the
+			// zero-input skip it falls back to is exactly the choice
+			// Theorem 1 already certifies — the step proceeds as a skip.
+			run = false
+			res.Degraded++
+		default:
+			// A κ failure with no safe fallback is terminal: the session
+			// has no admissible input to apply, so it closes and every
+			// further Step reports ErrSessionClosed instead of undefined
+			// behavior on reuse.
 			s.closed = true
 			return StepRecord{}, fmt.Errorf("core: Session.Step: κ failed at %v (level %v): %w", s.x, level, err)
 		}
-		u = uc
-		res.ControllerCalls++
 	}
 
 	f.Sys.StepInto(s.xNext, s.x, u, w)

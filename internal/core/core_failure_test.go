@@ -104,3 +104,95 @@ func TestSkipRate(t *testing.T) {
 		t.Errorf("empty SkipRate = %v", got)
 	}
 }
+
+func TestDegradeOptionalComputeFailure(t *testing.T) {
+	// Degraded mode: at the origin (x ∈ X′) an AlwaysRun policy wants κ,
+	// κ fails, and the step falls back to the certified zero-input skip
+	// instead of closing the session.
+	sys, _, sets := testRig(t)
+	f, err := NewFramework(sys, failingController{}, sets, AlwaysRun{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.NewSession(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetDegrade(true)
+	for i := 0; i < 6; i++ {
+		rec, err := sess.Step(mat.Vec{0, 0})
+		if err != nil {
+			t.Fatalf("step %d: degraded session errored: %v", i, err)
+		}
+		if rec.Ran {
+			t.Fatalf("step %d: degraded step recorded as a run", i)
+		}
+	}
+	if sess.Closed() {
+		t.Fatal("degraded session closed")
+	}
+	res := sess.Result
+	if res.Degraded != 6 || res.Skips != 6 || res.Runs != 0 {
+		t.Fatalf("counters: degraded=%d skips=%d runs=%d, want 6/6/0", res.Degraded, res.Skips, res.Runs)
+	}
+	if res.ViolationsX != 0 || res.ViolationsXI != 0 {
+		t.Fatalf("degradation violated safety: %d/%d", res.ViolationsX, res.ViolationsXI)
+	}
+}
+
+func TestDegradeForcedComputeStaysTerminal(t *testing.T) {
+	// A κ failure on a monitor-forced compute has no safe fallback: even
+	// in degraded mode the session must close loudly.
+	sys, _, sets := testRig(t)
+	m := NewMonitor(sets)
+	_, hi, err := sets.XPrime.BoundingBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := mat.Vec{hi[0] + 1e-6, 0}
+	if m.Level(probe) != InXI {
+		t.Skip("probe not in XI \\ X'; forced-state construction inconclusive")
+	}
+	f, err := NewFramework(sys, failingController{}, sets, BangBang{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.NewSession(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetDegrade(true)
+	if _, err := sess.Step(mat.Vec{0, 0}); err == nil {
+		t.Fatal("forced κ failure survived degraded mode")
+	}
+	if !sess.Closed() {
+		t.Fatal("session open after terminal forced failure")
+	}
+	if _, err := sess.Step(mat.Vec{0, 0}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("stepping a closed session: %v", err)
+	}
+}
+
+func TestResetClearsDegrade(t *testing.T) {
+	// Reset restores the cold default (degrade off) so pooled sessions
+	// never inherit a previous tenant's failure mode.
+	sys, _, sets := testRig(t)
+	f, err := NewFramework(sys, failingController{}, sets, AlwaysRun{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.NewSession(mat.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetDegrade(true)
+	if _, err := sess.Step(mat.Vec{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Reset(mat.Vec{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(mat.Vec{0, 0}); err == nil {
+		t.Fatal("degrade survived Reset")
+	}
+}

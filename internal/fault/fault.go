@@ -1,0 +1,285 @@
+// Package fault is the runtime's deterministic fault-injection layer:
+// a seeded, site-addressable source of synthetic failures threaded into
+// the I/O and scheduling paths a production control service has to
+// survive — artifact-store reads and writes, journal appends and
+// fsyncs, and the fleet scheduler's compute lane.
+//
+// Every injection decision is a pure function of (seed, site, call
+// index): two runs with the same seed and the same per-site call
+// sequence inject at exactly the same points, so a chaos test can cut a
+// journal at append #137, replay the run, and get a byte-identical
+// prefix. Sites are plain strings (see the Site* constants); a nil
+// *Injector is inert and free, so production call sites pay one nil
+// check when injection is off.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Canonical site names. Call sites pass these to Hit; tests and the
+// oicd -fault flag address them by the same strings.
+const (
+	// SiteArtifactRead fires inside artifact.Store.Get's file read.
+	SiteArtifactRead = "artifact.read"
+	// SiteArtifactWrite fires inside artifact.Store.Put's file write.
+	SiteArtifactWrite = "artifact.write"
+	// SiteJournalAppend fires inside journal.Writer.Append before any
+	// bytes reach the segment, so an injected failure cuts the journal at
+	// a clean record boundary — the deterministic crash point the chaos
+	// tests restart from.
+	SiteJournalAppend = "journal.append"
+	// SiteJournalSync fires inside journal.Writer fsyncs.
+	SiteJournalSync = "journal.sync"
+	// SiteSchedCompute fires in the scheduler's step phase before a
+	// member's κ computation — the synthetic solver failure that exercises
+	// graceful degradation (optional computes shed to guaranteed-safe
+	// skips; forced computes fail loudly).
+	SiteSchedCompute = "sched.compute"
+)
+
+// ErrInjected is the sentinel every injected failure wraps
+// (errors.Is-able through the wrapping the call sites apply).
+var ErrInjected = errors.New("fault: injected failure")
+
+// siteState is one site's independent deterministic stream.
+type siteState struct {
+	rng   *rand.Rand // seeded from (injector seed, site name)
+	rate  float64    // probabilistic mode: P(fire) per call
+	first int64      // fail calls 1..first (transient-error mode)
+	after int64      // fail every call > after (crash-cut mode); < 0 = off
+	calls int64
+	fired int64
+}
+
+// Injector is a deterministic, seeded fault source. All methods are
+// safe for concurrent use; a nil *Injector never fires.
+type Injector struct {
+	mu    sync.Mutex
+	seed  int64
+	sites map[string]*siteState
+}
+
+// New returns an injector whose per-site decision streams derive from
+// seed. No site fires until it is enabled.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, sites: map[string]*siteState{}}
+}
+
+// site returns (creating if needed) the state for name. Caller holds mu.
+func (in *Injector) site(name string) *siteState {
+	st, ok := in.sites[name]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		st = &siteState{
+			rng:   rand.New(rand.NewSource(in.seed ^ int64(h.Sum64()))),
+			after: -1,
+		}
+		in.sites[name] = st
+	}
+	return st
+}
+
+// Enable arms the site probabilistically: each Hit fires independently
+// with probability rate, drawn from the site's own seeded stream (so the
+// fire pattern is reproducible for a fixed seed and call sequence).
+func (in *Injector) Enable(name string, rate float64) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.site(name).rate = rate
+}
+
+// FailFirst arms the site to fail its first n Hits and succeed
+// afterwards — the transient-error shape (a flaky disk read that heals)
+// the retry paths are tested against.
+func (in *Injector) FailFirst(name string, n int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.site(name).first = int64(n)
+}
+
+// FailAfter arms the site to succeed its first n Hits and fail every
+// one after — the crash-cut shape: a journal whose append site fails
+// after n records is frozen at exactly n records, giving chaos tests a
+// deterministic kill point.
+func (in *Injector) FailAfter(name string, n int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.site(name).after = int64(n)
+}
+
+// Hit asks the site whether this call fails. It returns nil (no fault)
+// or an error wrapping ErrInjected that names the site and call index.
+func (in *Injector) Hit(name string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.sites[name]
+	if !ok {
+		return nil
+	}
+	st.calls++
+	fire := false
+	switch {
+	case st.first > 0 && st.calls <= st.first:
+		fire = true
+	case st.after >= 0 && st.calls > st.after:
+		fire = true
+	case st.rate > 0 && st.rng.Float64() < st.rate:
+		fire = true
+	}
+	if !fire {
+		return nil
+	}
+	st.fired++
+	return fmt.Errorf("%w at %s call %d", ErrInjected, name, st.calls)
+}
+
+// SiteStats is one site's call accounting.
+type SiteStats struct {
+	Calls int64
+	Fired int64
+}
+
+// Calls returns how many times the site was consulted.
+func (in *Injector) Calls(name string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st, ok := in.sites[name]; ok {
+		return st.calls
+	}
+	return 0
+}
+
+// Fired returns how many faults the site injected.
+func (in *Injector) Fired(name string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st, ok := in.sites[name]; ok {
+		return st.fired
+	}
+	return 0
+}
+
+// Stats snapshots every armed site's accounting, keyed by site name.
+func (in *Injector) Stats() map[string]SiteStats {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]SiteStats, len(in.sites))
+	for name, st := range in.sites {
+		out[name] = SiteStats{Calls: st.calls, Fired: st.fired}
+	}
+	return out
+}
+
+// String renders the armed sites in stable order (for logs).
+func (in *Injector) String() string {
+	if in == nil {
+		return "fault: off"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.sites))
+	for name := range in.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault: seed %d", in.seed)
+	for _, name := range names {
+		st := in.sites[name]
+		fmt.Fprintf(&b, " %s(rate=%g,first=%d,after=%d)", name, st.rate, st.first, st.after)
+	}
+	return b.String()
+}
+
+// knownSites is the flag-addressable site vocabulary. Parse rejects
+// names outside it — an unarmed typo ("journl.append") would otherwise
+// silently inject nothing while the operator believes chaos is on.
+var knownSites = map[string]bool{
+	SiteArtifactRead:  true,
+	SiteArtifactWrite: true,
+	SiteJournalAppend: true,
+	SiteJournalSync:   true,
+	SiteSchedCompute:  true,
+}
+
+// Parse builds an injector from the oicd -fault flag syntax: a
+// comma-separated list of site=mode specs where mode is a probability
+// ("journal.append=0.01"), "first:N" ("artifact.read=first:2" — fail the
+// first two calls), or "after:N" ("journal.append=after:200" — fail
+// every call past the 200th). An empty spec returns (nil, nil): no
+// injection, zero overhead.
+func Parse(seed int64, spec string) (*Injector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	in := New(seed)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, mode, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("fault: bad spec %q (want site=rate, site=first:N, or site=after:N)", part)
+		}
+		if !knownSites[name] {
+			known := make([]string, 0, len(knownSites))
+			for s := range knownSites {
+				known = append(known, s)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("fault: unknown site %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		switch {
+		case strings.HasPrefix(mode, "first:"):
+			n, err := strconv.Atoi(strings.TrimPrefix(mode, "first:"))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: bad spec %q: first:N needs N ≥ 0", part)
+			}
+			in.FailFirst(name, n)
+		case strings.HasPrefix(mode, "after:"):
+			n, err := strconv.Atoi(strings.TrimPrefix(mode, "after:"))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: bad spec %q: after:N needs N ≥ 0", part)
+			}
+			in.FailAfter(name, n)
+		default:
+			rate, err := strconv.ParseFloat(mode, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("fault: bad spec %q: rate must be in [0, 1]", part)
+			}
+			in.Enable(name, rate)
+		}
+	}
+	return in, nil
+}

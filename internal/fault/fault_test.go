@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// Same seed, same call sequence ⇒ identical fire pattern. This is the
+// property the chaos tests lean on: a fault-injected run is replayable.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	pattern := func() []bool {
+		in := New(42)
+		in.Enable(SiteJournalAppend, 0.3)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Hit(SiteJournalAppend) != nil
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: run A fired=%v, run B fired=%v", i, a[i], b[i])
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate 0.3 over %d calls fired %d times; want strictly between", len(a), fired)
+	}
+}
+
+// Different sites draw from independent streams: arming one site never
+// perturbs another's pattern.
+func TestSiteStreamsIndependent(t *testing.T) {
+	solo := New(7)
+	solo.Enable(SiteArtifactRead, 0.5)
+	want := make([]bool, 100)
+	for i := range want {
+		want[i] = solo.Hit(SiteArtifactRead) != nil
+	}
+
+	both := New(7)
+	both.Enable(SiteArtifactRead, 0.5)
+	both.Enable(SiteJournalSync, 0.5)
+	for i := range want {
+		both.Hit(SiteJournalSync)
+		if got := both.Hit(SiteArtifactRead) != nil; got != want[i] {
+			t.Fatalf("call %d: artifact.read pattern changed when journal.sync was armed", i)
+		}
+	}
+}
+
+func TestFailFirst(t *testing.T) {
+	in := New(1)
+	in.FailFirst(SiteArtifactRead, 2)
+	for i := 1; i <= 2; i++ {
+		if err := in.Hit(SiteArtifactRead); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	for i := 3; i <= 10; i++ {
+		if err := in.Hit(SiteArtifactRead); err != nil {
+			t.Fatalf("call %d: want recovery after first 2, got %v", i, err)
+		}
+	}
+	if got := in.Fired(SiteArtifactRead); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	if got := in.Calls(SiteArtifactRead); got != 10 {
+		t.Fatalf("Calls = %d, want 10", got)
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	in := New(1)
+	in.FailAfter(SiteJournalAppend, 3)
+	for i := 1; i <= 3; i++ {
+		if err := in.Hit(SiteJournalAppend); err != nil {
+			t.Fatalf("call %d: want success before cut, got %v", i, err)
+		}
+	}
+	for i := 4; i <= 8; i++ {
+		if err := in.Hit(SiteJournalAppend); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: want sticky failure after cut, got %v", i, err)
+		}
+	}
+}
+
+// FailAfter(site, 0) fails from the very first call.
+func TestFailAfterZero(t *testing.T) {
+	in := New(1)
+	in.FailAfter(SiteJournalSync, 0)
+	if err := in.Hit(SiteJournalSync); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want immediate failure, got %v", err)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(SiteJournalAppend); err != nil {
+		t.Fatalf("nil Hit = %v, want nil", err)
+	}
+	in.Enable(SiteJournalAppend, 1)
+	in.FailFirst(SiteJournalAppend, 1)
+	in.FailAfter(SiteJournalAppend, 0)
+	if err := in.Hit(SiteJournalAppend); err != nil {
+		t.Fatalf("nil injector fired after arming calls: %v", err)
+	}
+	if in.Calls(SiteJournalAppend) != 0 || in.Fired(SiteJournalAppend) != 0 {
+		t.Fatal("nil injector reported nonzero accounting")
+	}
+	if in.Stats() != nil {
+		t.Fatal("nil Stats() should be nil")
+	}
+	if got := in.String(); got != "fault: off" {
+		t.Fatalf("nil String() = %q", got)
+	}
+}
+
+// An unarmed site on a live injector never fires and never counts.
+func TestUnarmedSite(t *testing.T) {
+	in := New(9)
+	in.Enable(SiteArtifactRead, 1)
+	if err := in.Hit(SiteSchedCompute); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if in.Calls(SiteSchedCompute) != 0 {
+		t.Fatal("unarmed site counted a call")
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	in := New(3)
+	in.Enable(SiteSchedCompute, 1)
+	for i := 0; i < 50; i++ {
+		if err := in.Hit(SiteSchedCompute); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: rate 1 did not fire: %v", i, err)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		in, err := Parse(1, "  ")
+		if err != nil || in != nil {
+			t.Fatalf("Parse(empty) = %v, %v; want nil, nil", in, err)
+		}
+	})
+	t.Run("mixed", func(t *testing.T) {
+		in, err := Parse(5, "artifact.read=first:2, journal.append=after:100, sched.compute=0.25")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Hit(SiteArtifactRead); !errors.Is(err, ErrInjected) {
+			t.Fatalf("first:2 call 1: %v", err)
+		}
+		for i := 1; i <= 100; i++ {
+			if err := in.Hit(SiteJournalAppend); err != nil {
+				t.Fatalf("after:100 call %d fired early: %v", i, err)
+			}
+		}
+		if err := in.Hit(SiteJournalAppend); !errors.Is(err, ErrInjected) {
+			t.Fatalf("after:100 call 101: %v", err)
+		}
+	})
+	t.Run("bad", func(t *testing.T) {
+		for _, spec := range []string{
+			"noequals",
+			"=0.5",
+			"sched.compute=first:-1",
+			"sched.compute=after:nope",
+			"sched.compute=1.5",
+			"sched.compute=-0.1",
+			"sched.compute=abc",
+			"journl.append=0.5", // typo'd site must refuse, not silently arm nothing
+		} {
+			if _, err := Parse(1, spec); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", spec)
+			}
+		}
+	})
+}
+
+func TestStatsAndString(t *testing.T) {
+	in := New(11)
+	in.FailFirst(SiteArtifactRead, 1)
+	in.Hit(SiteArtifactRead)
+	in.Hit(SiteArtifactRead)
+	st := in.Stats()
+	if got := st[SiteArtifactRead]; got.Calls != 2 || got.Fired != 1 {
+		t.Fatalf("Stats[%s] = %+v, want Calls=2 Fired=1", SiteArtifactRead, got)
+	}
+	if s := in.String(); s == "" || s == "fault: off" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// Concurrent Hit calls must be race-free (exercised under -race in CI).
+func TestConcurrentHits(t *testing.T) {
+	in := New(13)
+	in.Enable(SiteJournalAppend, 0.5)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				in.Hit(SiteJournalAppend)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := in.Calls(SiteJournalAppend); got != 8000 {
+		t.Fatalf("Calls = %d, want 8000", got)
+	}
+}

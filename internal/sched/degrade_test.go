@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"oic/internal/fault"
+)
+
+// safetyMember models the S_k skip-chain semantics the scheduler's
+// degradation leans on: a member holds a consecutive-skip budget that a
+// compute refills and every skip spends; skipping at budget zero is a
+// safety violation — exactly the state Theorem 1 stops certifying. The
+// member is monitor-forced when its budget is exhausted.
+type safetyMember struct {
+	mu         sync.Mutex
+	budget     int // remaining consecutive safe skips
+	max        int // budget after a compute
+	eager      bool
+	violations int
+	computes   int
+	skips      int
+}
+
+func (m *safetyMember) Decide() Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	forced := m.budget == 0
+	// An eager member's policy wants κ whenever its chain is half spent;
+	// a lazy one only computes when forced. Both shapes exist in a fleet.
+	want := forced || (m.eager && m.budget <= m.max/2)
+	return Decision{Compute: want, Forced: forced, Budget: m.budget}
+}
+
+func (m *safetyMember) Step(compute bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if compute {
+		m.budget = m.max
+		m.computes++
+		return nil
+	}
+	if m.budget == 0 {
+		m.violations++ // skipped without a certificate
+	} else {
+		m.budget--
+	}
+	m.skips++
+	return nil
+}
+
+// The degradation safety property: under heavy injected solver faults,
+// the scheduler never converts a compute into a skip unless the
+// member's chain certifies it — so across hundreds of faulty ticks, no
+// member ever skips at budget zero, every degradation is counted, and
+// faults on forced computes surface as member errors instead of being
+// absorbed silently.
+func TestDegradationHoldsSafetyInvariant(t *testing.T) {
+	run := func(seed int64) (violations, degraded, errs, computes int) {
+		members := make([]Member, 0, 120)
+		for i := 0; i < 120; i++ {
+			members = append(members, &safetyMember{budget: i % 5, max: 1 + i%5, eager: i%3 != 0})
+		}
+		inj := fault.New(seed)
+		inj.Enable(fault.SiteSchedCompute, 0.5)
+		s := New(Config{ComputeBudget: 40, Workers: 4, Faults: inj})
+		for tick := 0; tick < 200; tick++ {
+			st, err := s.Tick(context.Background(), members)
+			if err != nil {
+				t.Fatal(err)
+			}
+			degraded += st.Degraded
+			errs += st.Errors
+			for _, e := range s.Errs() {
+				if e != nil && !errors.Is(e, fault.ErrInjected) {
+					t.Fatalf("non-injected member error: %v", e)
+				}
+			}
+		}
+		for _, m := range members {
+			sm := m.(*safetyMember)
+			violations += sm.violations
+			computes += sm.computes
+		}
+		return
+	}
+
+	violations, degraded, errs, computes := run(17)
+	if violations != 0 {
+		t.Fatalf("safety invariant broken: %d skips at budget zero", violations)
+	}
+	if degraded == 0 {
+		t.Fatal("rate-0.5 faults over 200 ticks degraded nothing; injection not reaching the plan")
+	}
+	if errs == 0 {
+		t.Fatal("no forced-compute fault surfaced as an error; loud path untested")
+	}
+	if computes == 0 {
+		t.Fatal("no computes executed")
+	}
+
+	// Determinism: the same seed degrades the same members the same way.
+	v2, d2, e2, c2 := run(17)
+	if v2 != violations || d2 != degraded || e2 != errs || c2 != computes {
+		t.Fatalf("same seed diverged: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			violations, degraded, errs, computes, v2, d2, e2, c2)
+	}
+}
+
+// A fault on a forced compute must not step the member at all: the
+// error surfaces in its slot and its state is untouched.
+func TestForcedFaultIsLoud(t *testing.T) {
+	inj := fault.New(1)
+	inj.Enable(fault.SiteSchedCompute, 1) // every compute faults
+	forced := &fakeMember{dec: Decision{Compute: true, Forced: true}}
+	optionalSafe := &fakeMember{dec: Decision{Compute: true, Budget: 3}}
+	optionalExhausted := &fakeMember{dec: Decision{Compute: true, Budget: 0}}
+	s := New(Config{Faults: inj})
+	st, err := s.Tick(context.Background(), []Member{forced, optionalSafe, optionalExhausted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 2 {
+		t.Fatalf("Errors = %d, want 2 (forced + exhausted optional)", st.Errors)
+	}
+	if st.Degraded != 1 {
+		t.Fatalf("Degraded = %d, want 1 (the optional with budget)", st.Degraded)
+	}
+	if !errors.Is(s.Errs()[0], fault.ErrInjected) || !errors.Is(s.Errs()[2], fault.ErrInjected) {
+		t.Fatalf("errs = %v, want injected failures at 0 and 2", s.Errs())
+	}
+	if len(forced.history) != 0 || len(optionalExhausted.history) != 0 {
+		t.Fatal("a faulted loud member was stepped")
+	}
+	if len(optionalSafe.history) != 1 || optionalSafe.history[0] != Skip {
+		t.Fatalf("degraded member history = %v, want one skip", optionalSafe.history)
+	}
+	if got := s.Actions()[1]; got != Shed {
+		t.Fatalf("degraded member action = %v, want Shed", got)
+	}
+}
+
+// An already-expired tick deadline degrades every optional compute with
+// chain left to a safe shed; forced computes still run.
+func TestTickDeadlineDegrades(t *testing.T) {
+	members := []Member{
+		&fakeMember{dec: Decision{Compute: true, Forced: true}},
+		&fakeMember{dec: Decision{Compute: true, Budget: 2}},
+		&fakeMember{dec: Decision{Compute: true, Budget: 4}},
+	}
+	s := New(Config{TickDeadline: 1}) // 1ns: expired before the step phase
+	st, err := s.Tick(context.Background(), members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Degraded != 2 {
+		t.Fatalf("Degraded = %d, want 2", st.Degraded)
+	}
+	if h := members[0].(*fakeMember).history; len(h) != 1 || h[0] != Compute {
+		t.Fatalf("forced member history = %v, want one compute past deadline", h)
+	}
+	for i := 1; i < 3; i++ {
+		if h := members[i].(*fakeMember).history; len(h) != 1 || h[0] != Skip {
+			t.Fatalf("member %d history = %v, want degraded skip", i, h)
+		}
+		if s.Actions()[i] != Shed {
+			t.Fatalf("member %d action = %v, want Shed", i, s.Actions()[i])
+		}
+	}
+}

@@ -37,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"oic/internal/fault"
 )
 
 // Decision is one member's cheap pre-step verdict: the monitor+policy
@@ -174,13 +176,31 @@ type Config struct {
 	// Workers bounds the goroutine pool for the decide and step phases;
 	// ≤ 0 means GOMAXPROCS. Results are independent of the choice.
 	Workers int
+	// Faults optionally injects synthetic solver failures at the
+	// sched.compute site. An injected failure on an optional compute with
+	// remaining skip budget degrades the member to a guaranteed-safe
+	// shed (x ∈ X′, Theorem 1); on a forced compute — or one whose skip
+	// chain is exhausted — it surfaces as that member's step error, loud.
+	// The injection pass runs serially in member-index order, so a seeded
+	// injector yields the same degradations every run.
+	Faults *fault.Injector
+	// TickDeadline bounds a tick's wall time. Once exceeded, remaining
+	// *optional* computes with skip budget left degrade to safe sheds
+	// instead of running κ; forced computes always run regardless —
+	// the deadline trades reclaimed compute, never safety.
+	TickDeadline time.Duration
 }
 
 // TickStats aggregates one executed tick.
 type TickStats struct {
 	Members int
 	PlanStats
-	Errors     int           // members whose Step failed (terminal κ errors)
+	Errors int // members whose Step failed (terminal κ errors)
+	// Degraded counts planned computes downgraded to guaranteed-safe
+	// sheds by an injected solver fault or a tick-deadline overrun.
+	// PlanStats.Computes still reports the *planned* computes; the
+	// executed count is Computes − Degraded.
+	Degraded   int
 	DecideTime time.Duration // wall time of the decide phase
 	StepTime   time.Duration // wall time of the step phase
 }
@@ -222,13 +242,50 @@ func (s *Scheduler) Tick(ctx context.Context, members []Member) (TickStats, erro
 
 	st.PlanStats, s.scratch = planInto(s.dec[:n], s.cfg.ComputeBudget, s.acts[:n], s.scratch)
 
+	// Synthetic solver faults, applied serially in index order so the
+	// seeded injector degrades the same members every run. Forced
+	// computes (and optional ones with no skip chain left) fail loudly
+	// via the member's error slot; safe ones shed.
+	for i := range s.errs[:n] {
+		s.errs[i] = nil
+	}
+	if s.cfg.Faults != nil {
+		for i := 0; i < n; i++ {
+			if s.acts[i] != Compute {
+				continue
+			}
+			if err := s.cfg.Faults.Hit(fault.SiteSchedCompute); err != nil {
+				if !s.dec[i].Forced && s.dec[i].Budget > 0 {
+					s.acts[i] = Shed
+					st.Degraded++
+				} else {
+					s.errs[i] = err
+				}
+			}
+		}
+	}
+
 	if err := ctx.Err(); err != nil {
 		return st, err
 	}
 	t1 := time.Now()
+	var lateDeg atomic.Int64
 	s.fanOut(n, func(i int) {
-		s.errs[i] = members[i].Step(s.acts[i] == Compute)
+		if s.errs[i] != nil {
+			return // failed loudly at the fault pass; never stepped
+		}
+		compute := s.acts[i] == Compute
+		if compute && s.cfg.TickDeadline > 0 && !s.dec[i].Forced && s.dec[i].Budget > 0 &&
+			time.Since(t0) > s.cfg.TickDeadline {
+			// Over deadline: this optional compute's skip is still
+			// certified safe, so reclaim its κ time.
+			s.acts[i] = Shed
+			compute = false
+			lateDeg.Add(1)
+		}
+		s.errs[i] = members[i].Step(compute)
 	})
+	st.Degraded += int(lateDeg.Load())
 	st.StepTime = time.Since(t1)
 	for _, err := range s.errs[:n] {
 		if err != nil {

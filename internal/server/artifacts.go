@@ -21,6 +21,7 @@ func (s *Server) OpenArtifactStore(dir string) error {
 	if err != nil {
 		return err
 	}
+	store.SetFaults(s.faults)
 	s.store = store
 	return nil
 }

@@ -57,10 +57,17 @@ func validateFleetCreate(req *oic.CreateFleetRequest) error {
 	if req.Workers < 0 {
 		return badRequest("workers must be ≥ 0")
 	}
+	if req.TickDeadline < 0 {
+		return badRequest("tick_deadline_ns must be ≥ 0")
+	}
 	return nil
 }
 
 func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		s.fail(w, errRecovering)
+		return
+	}
 	var req oic.CreateFleetRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.fail(w, err)
@@ -104,13 +111,17 @@ func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
 		ComputeBudget: req.ComputeBudget,
 		Workers:       req.Workers,
 		MaxSessions:   req.MaxSessions,
+		Degrade:       req.Degrade,
+		TickDeadline:  req.TickDeadline,
 	})
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	fleet.SetFaults(s.faults)
+	var x0s [][]float64
 	if req.Size > 0 {
-		x0s, err := eng.SampleInitialStates(req.Seed, req.Size)
+		x0s, err = eng.SampleInitialStates(req.Seed, req.Size)
 		if err != nil {
 			fleet.Close()
 			s.fail(w, fmt.Errorf("sampling initial states: %w", err))
@@ -139,6 +150,10 @@ func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
 	s.fleets[fe.id] = fe
 	s.mu.Unlock()
 	s.m.fleetsCreated.Add(1)
+	// Write-ahead: the fleet-open record, the create-time admits, and the
+	// member step hook land before the create is acknowledged.
+	s.journalOpenFleet(fe.id, eng, fleet, x0s)
+	s.journalSyncRequest()
 
 	writeJSON(w, http.StatusCreated, s.fleetInfo(fe))
 }
@@ -183,6 +198,8 @@ func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
 	info := s.fleetInfo(fe)
 	info.Closed = true
 	fe.f.Close()
+	s.journalCloseFleet(fe.id)
+	s.journalSyncRequest()
 	s.m.fleetsClosed.Add(1)
 	writeJSON(w, http.StatusOK, info)
 }
@@ -220,6 +237,7 @@ func (s *Server) handleFleetTick(w http.ResponseWriter, r *http.Request) {
 				// Partial progress: return what executed plus the terminal
 				// error and its status, mirroring the batched-step
 				// convention.
+				s.journalSyncRequest()
 				resp.Error = err.Error()
 				writeJSON(w, statusForStepErr(err), resp)
 				return
@@ -227,9 +245,17 @@ func (s *Server) handleFleetTick(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, err)
 			return
 		}
+		// Members whose step failed terminally were evicted inside Tick;
+		// the journal must agree, or recovery would try to replay them.
+		for _, fe2 := range rep.Errors {
+			s.journalEvict(fe.id, fe2.ID)
+		}
 		s.m.observeTick(rep)
 		resp.Reports = append(resp.Reports, rep)
 	}
+	// One fsync per tick request amortizes durability over every member's
+	// step (SyncEveryTick); it lands before the ticks are acknowledged.
+	s.journalSyncRequest()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -263,6 +289,8 @@ func (s *Server) handleFleetAdmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.journalAdmit(fe.id, id, fe.eng.NX(), x0)
+	s.journalSyncRequest()
 	info, err := fe.f.Member(id)
 	if err != nil {
 		s.fail(w, err)
@@ -320,6 +348,8 @@ func (s *Server) handleFleetMemberDelete(w http.ResponseWriter, r *http.Request)
 		s.fail(w, err)
 		return
 	}
+	s.journalEvict(fe.id, mid)
+	s.journalSyncRequest()
 	writeJSON(w, http.StatusOK, info)
 }
 

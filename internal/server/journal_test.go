@@ -1,0 +1,376 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"oic/internal/journal"
+	"oic/pkg/oic"
+)
+
+// raw issues a request and returns the response body bytes verbatim (for
+// binary-trace byte-identity assertions).
+func (c *client) raw(method, path string) []byte {
+	c.t.Helper()
+	req, err := http.NewRequest(method, c.base+path, nil)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		c.t.Fatalf("%s %s: status %d, body %q", method, path, resp.StatusCode, b)
+	}
+	return b
+}
+
+// journalServer builds a test server with a write-ahead journal at dir.
+func journalServer(t testing.TB, dir string, cfg Config, policy journal.SyncPolicy) (*Server, *client) {
+	t.Helper()
+	srv, c := newTestServer(t, cfg)
+	if err := srv.OpenJournal(journal.Options{Dir: dir, Policy: policy}); err != nil {
+		t.Fatal(err)
+	}
+	return srv, c
+}
+
+// stepW returns a deterministic per-step disturbance for an acc session.
+func stepW(i int) []float64 {
+	return []float64{0.05 * math.Sin(float64(i)), 0.03 * math.Cos(float64(2*i))}
+}
+
+// TestRequestTimeoutDeadline503 drives a step into an expired server-side
+// deadline and asserts the 503 "deadline" mapping — and that the same
+// machinery keeps the 499 client-cancel exit distinct.
+func TestRequestTimeoutDeadline503(t *testing.T) {
+	_, c := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+
+	// Creation does no context-gated compute, so it succeeds even with an
+	// already-expired request context.
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc"}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	// Stepping checks the context first: the expired deadline surfaces as
+	// 503 {"code":"deadline"}, a retryable server condition.
+	var e oic.ErrorResponse
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{W: stepW(0)}, &e); st != http.StatusServiceUnavailable {
+		t.Fatalf("step under expired deadline: status %d, body %+v", st, e)
+	}
+	if e.Code != "deadline" {
+		t.Fatalf("step under expired deadline: code %q, want \"deadline\"", e.Code)
+	}
+
+	// The client-cancel exit must stay distinguishable: same context
+	// machinery, different status and code.
+	if st, code := statusAndCode(context.Canceled); st != 499 || code != "canceled" {
+		t.Fatalf("client cancel maps to (%d, %q), want (499, \"canceled\")", st, code)
+	}
+	if st, code := statusAndCode(context.DeadlineExceeded); st != http.StatusServiceUnavailable || code != "deadline" {
+		t.Fatalf("deadline maps to (%d, %q), want (503, \"deadline\")", st, code)
+	}
+}
+
+// TestRecoveryGatesTraffic verifies the recovering state: /healthz 503
+// {"recovering":true} and creation endpoints 503 "recovering" until the
+// replay closure completes.
+func TestRecoveryGatesTraffic(t *testing.T) {
+	dir := t.TempDir()
+	srv, c := journalServer(t, dir, Config{}, journal.SyncEveryTick)
+
+	run, err := srv.BeginJournalRecovery(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		OK         bool `json:"ok"`
+		Recovering bool `json:"recovering"`
+	}
+	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusServiceUnavailable || !hz.Recovering {
+		t.Fatalf("healthz while recovering: status %d, body %+v", st, hz)
+	}
+	var e oic.ErrorResponse
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc"}, &e); st != http.StatusServiceUnavailable || e.Code != "recovering" {
+		t.Fatalf("create while recovering: status %d, code %q", st, e.Code)
+	}
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{Plant: "acc"}, &e); st != http.StatusServiceUnavailable || e.Code != "recovering" {
+		t.Fatalf("fleet create while recovering: status %d, code %q", st, e.Code)
+	}
+
+	if _, err := run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusOK || !hz.OK {
+		t.Fatalf("healthz after recovery: status %d, body %+v", st, hz)
+	}
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc"}, nil); st != http.StatusCreated {
+		t.Fatalf("create after recovery: status %d", st)
+	}
+}
+
+// TestJournalRecoveryByteIdentical is the in-process crash test: journal a
+// served workload, drop the server without closing anything (the crash),
+// recover into a fresh server, and require byte-identical state — session
+// info, binary traces, and every post-recovery step must match an
+// uninterrupted reference run exactly.
+func TestJournalRecoveryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	const cut, total = 12, 20
+
+	// Reference: one uninterrupted session over the full disturbance
+	// sequence, straight through the library.
+	eng, err := oic.NewEngine(oic.Config{Plant: "acc", Policy: oic.PolicyBangBang})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := eng.SampleInitialStates(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := xs[0]
+	ref, err := eng.NewSession(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refResults []oic.StepResult
+	for i := 0; i < total; i++ {
+		r, err := ref.Step(context.Background(), stepW(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refResults = append(refResults, r)
+	}
+
+	// Phase 1: serve cut steps with the journal attached, plus a second
+	// session that gets closed (it must NOT be resurrected), then crash.
+	srvA, cA := journalServer(t, dir, Config{}, journal.SyncEveryTick)
+	var info oic.SessionInfo
+	if st := cA.do("POST", "/v1/sessions",
+		oic.CreateSessionRequest{Plant: "acc", Policy: oic.PolicyBangBang, X0: x0, Trace: true}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	for i := 0; i < cut; i++ {
+		if st := cA.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{W: stepW(i)}, nil); st != http.StatusOK {
+			t.Fatalf("step %d: status %d", i, st)
+		}
+	}
+	var closed oic.SessionInfo
+	if st := cA.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", Policy: oic.PolicyBangBang}, &closed); st != http.StatusCreated {
+		t.Fatalf("create closed-session: status %d", st)
+	}
+	if st := cA.do("DELETE", "/v1/sessions/"+closed.ID, nil, nil); st != http.StatusOK {
+		t.Fatalf("delete: status %d", st)
+	}
+	var preInfo oic.SessionInfo
+	cA.do("GET", "/v1/sessions/"+info.ID, nil, &preInfo)
+	preTrace := cA.raw("GET", "/v1/sessions/"+info.ID+"/trace?format=binary")
+	// The crash: flush what SyncEveryTick buffered (each request synced, so
+	// this is a no-op for acknowledged work) and abandon the server without
+	// Close records.
+	srvA.Close()
+
+	// Phase 2: recover into a fresh server over the same journal dir.
+	srvB, cB := journalServer(t, dir, Config{}, journal.SyncEveryTick)
+	run, err := srvB.BeginJournalRecovery(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 1 || rep.StepsReplayed != cut || rep.Failed != 0 || rep.Skipped != 1 {
+		t.Fatalf("recovery report %+v, want 1 session, %d steps, 1 skipped, 0 failed", rep, cut)
+	}
+
+	// The recovered snapshot and binary trace are byte-identical.
+	var postInfo oic.SessionInfo
+	if st := cB.do("GET", "/v1/sessions/"+info.ID, nil, &postInfo); st != http.StatusOK {
+		t.Fatalf("recovered session GET: status %d", st)
+	}
+	if postInfo.T != preInfo.T || !bitsEq(postInfo.X, preInfo.X) ||
+		postInfo.Skips != preInfo.Skips || postInfo.Forced != preInfo.Forced ||
+		postInfo.Violations != preInfo.Violations {
+		t.Fatalf("recovered info %+v != pre-crash %+v", postInfo, preInfo)
+	}
+	postTrace := cB.raw("GET", "/v1/sessions/"+info.ID+"/trace?format=binary")
+	if string(postTrace) != string(preTrace) {
+		t.Fatalf("recovered binary trace differs: %d bytes vs %d", len(postTrace), len(preTrace))
+	}
+	// The closed session stays closed, and new IDs don't collide.
+	if st := cB.do("GET", "/v1/sessions/"+closed.ID, nil, nil); st != http.StatusNotFound {
+		t.Fatalf("closed session resurrected: status %d", st)
+	}
+	var fresh oic.SessionInfo
+	if st := cB.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc"}, &fresh); st != http.StatusCreated {
+		t.Fatalf("post-recovery create: status %d", st)
+	}
+	if fresh.ID == info.ID || fresh.ID == closed.ID {
+		t.Fatalf("post-recovery ID %q collides with a journaled ID", fresh.ID)
+	}
+
+	// Post-recovery steps continue the uninterrupted reference bit-for-bit.
+	for i := cut; i < total; i++ {
+		var got oic.StepResult
+		if st := cB.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{W: stepW(i)}, &got); st != http.StatusOK {
+			t.Fatalf("recovered step %d: status %d", i, st)
+		}
+		want := refResults[i]
+		if got.T != want.T || got.Ran != want.Ran || !bitsEq(got.U, want.U) || !bitsEq(got.X, want.X) {
+			t.Fatalf("recovered step %d = %+v, want %+v", i, got, want)
+		}
+	}
+	srvB.Close()
+}
+
+// TestJournalRecoveryFleet round-trips a fleet — create-time admits, ticks
+// with per-member disturbances, a live admit, an evict — through a crash
+// and verifies recovered member states bit-for-bit.
+func TestJournalRecoveryFleet(t *testing.T) {
+	dir := t.TempDir()
+	srvA, cA := journalServer(t, dir, Config{}, journal.SyncEveryTick)
+
+	var fl oic.FleetInfo
+	if st := cA.do("POST", "/v1/fleets",
+		oic.CreateFleetRequest{Plant: "acc", ComputeBudget: 2, Size: 4, Seed: 11}, &fl); st != http.StatusCreated {
+		t.Fatalf("fleet create: status %d", st)
+	}
+	for i := 0; i < 6; i++ {
+		ws := map[int][]float64{0: stepW(i), 2: stepW(i + 3)}
+		if st := cA.do("POST", "/v1/fleets/"+fl.ID+"/tick", oic.FleetTickRequest{WS: ws}, nil); st != http.StatusOK {
+			t.Fatalf("tick %d: status %d", i, st)
+		}
+	}
+	var admitted oic.FleetMemberInfo
+	if st := cA.do("POST", "/v1/fleets/"+fl.ID+"/sessions", oic.FleetAdmitRequest{Seed: 42}, &admitted); st != http.StatusCreated {
+		t.Fatalf("admit: status %d", st)
+	}
+	if st := cA.do("DELETE", "/v1/fleets/"+fl.ID+"/sessions/1", nil, nil); st != http.StatusOK {
+		t.Fatalf("evict: status %d", st)
+	}
+	if st := cA.do("POST", "/v1/fleets/"+fl.ID+"/tick", oic.FleetTickRequest{}, nil); st != http.StatusOK {
+		t.Fatalf("final tick: status %d", st)
+	}
+	live := []int{0, 2, 3, admitted.ID}
+	pre := map[int]oic.FleetMemberInfo{}
+	for _, id := range live {
+		var mi oic.FleetMemberInfo
+		if st := cA.do("GET", "/v1/fleets/"+fl.ID+"/sessions/"+itoa(id), nil, &mi); st != http.StatusOK {
+			t.Fatalf("member %d: status %d", id, st)
+		}
+		pre[id] = mi
+	}
+	srvA.Close() // crash: no close records
+
+	srvB, cB := journalServer(t, dir, Config{}, journal.SyncEveryTick)
+	run, err := srvB.BeginJournalRecovery(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fleets != 1 || rep.Members != len(live) || rep.Failed != 0 {
+		t.Fatalf("recovery report %+v, want 1 fleet with %d live members", rep, len(live))
+	}
+	for _, id := range live {
+		var mi oic.FleetMemberInfo
+		if st := cB.do("GET", "/v1/fleets/"+fl.ID+"/sessions/"+itoa(id), nil, &mi); st != http.StatusOK {
+			t.Fatalf("recovered member %d: status %d", id, st)
+		}
+		want := pre[id]
+		if mi.T != want.T || !bitsEq(mi.X, want.X) || mi.Skips != want.Skips ||
+			mi.Forced != want.Forced || mi.SkipBudget != want.SkipBudget {
+			t.Fatalf("recovered member %d = %+v, want %+v", id, mi, want)
+		}
+	}
+	// The evicted member stays gone, and its ID is never reissued.
+	if st := cB.do("GET", "/v1/fleets/"+fl.ID+"/sessions/1", nil, nil); st != http.StatusNotFound {
+		t.Fatalf("evicted member resurrected")
+	}
+	var fresh oic.FleetMemberInfo
+	if st := cB.do("POST", "/v1/fleets/"+fl.ID+"/sessions", oic.FleetAdmitRequest{Seed: 43}, &fresh); st != http.StatusCreated {
+		t.Fatalf("post-recovery admit: status %d", st)
+	}
+	if fresh.ID != admitted.ID+1 {
+		t.Fatalf("post-recovery member ID %d, want %d", fresh.ID, admitted.ID+1)
+	}
+	// Recovered fleets keep ticking, and their reports stay clean.
+	var ticks oic.FleetTickResponse
+	if st := cB.do("POST", "/v1/fleets/"+fl.ID+"/tick", oic.FleetTickRequest{Ticks: 3}, &ticks); st != http.StatusOK {
+		t.Fatalf("post-recovery tick: status %d", st)
+	}
+	for _, rep := range ticks.Reports {
+		if rep.Violations != 0 || len(rep.Errors) != 0 {
+			t.Fatalf("post-recovery tick report %+v", rep)
+		}
+	}
+	srvB.Close()
+}
+
+// TestShutdownFlushesJournal drives a buffered-policy journal (nothing
+// synced per request) and verifies Close lands every acknowledged record
+// durably on disk — with the session left open, not close-journaled, so
+// it survives into the next recovery.
+func TestShutdownFlushesJournal(t *testing.T) {
+	dir := t.TempDir()
+	srv, c := journalServer(t, dir, Config{}, journal.SyncNone)
+
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc"}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	const steps = 9
+	for i := 0; i < steps; i++ {
+		if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{W: stepW(i)}, nil); st != http.StatusOK {
+			t.Fatalf("step %d: status %d", i, st)
+		}
+	}
+	srv.Close()
+
+	rv, err := journal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv.Sessions) != 1 {
+		t.Fatalf("recovered %d sessions, want 1", len(rv.Sessions))
+	}
+	st := rv.Sessions[0]
+	if st.ID != info.ID || len(st.Steps) != steps {
+		t.Fatalf("recovered %q with %d steps, want %q with %d", st.ID, len(st.Steps), info.ID, steps)
+	}
+	if st.Closed {
+		t.Fatal("shutdown wrote a close record; live sessions must survive restarts")
+	}
+	if rv.TornTails != 0 {
+		t.Fatalf("clean shutdown left %d torn tails", rv.TornTails)
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// bitsEq is the test-side exact float comparison.
+func bitsEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

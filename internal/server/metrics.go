@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"oic/internal/journal"
 	"oic/pkg/oic"
 )
 
@@ -44,6 +45,17 @@ type metrics struct {
 	fleetShed      atomic.Int64
 	fleetForced    atomic.Int64
 	fleetOverrun   atomic.Int64
+	fleetDegraded  atomic.Int64 // computes shed by fault/deadline degradation
+
+	journalErrors    atomic.Int64 // journal appends/syncs that failed (durability degraded, requests unaffected)
+	journalTornTails atomic.Int64 // segments truncated at a torn tail by the last recovery
+	journalOrphans   atomic.Int64 // records referencing unknown ids in the last recovery
+
+	recoveredSessions atomic.Int64 // sessions resumed by the last journal recovery
+	recoveredFleets   atomic.Int64 // fleets resumed by the last journal recovery
+	recoveredMembers  atomic.Int64 // fleet members resumed by the last journal recovery
+	recoveredSteps    atomic.Int64 // steps replayed (and conformance-verified) by the last recovery
+	recoveryFailed    atomic.Int64 // journaled objects that failed to resume
 }
 
 // observeTick folds one fleet tick into the counters.
@@ -56,6 +68,7 @@ func (m *metrics) observeTick(rep oic.TickReport) {
 	m.fleetShed.Add(int64(rep.Shed))
 	m.fleetForced.Add(int64(rep.Forced))
 	m.fleetOverrun.Add(int64(rep.Overrun))
+	m.fleetDegraded.Add(int64(rep.Degraded))
 }
 
 // fleetGauge is one live fleet's scrape-time gauge snapshot, labeled by
@@ -67,7 +80,7 @@ type fleetGauge struct {
 }
 
 // render writes the Prometheus text exposition.
-func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []fleetGauge, store oic.ArtifactStoreStats) {
+func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []fleetGauge, store oic.ArtifactStoreStats, js journal.WriterStats) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -93,6 +106,7 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 	counter("oicd_artifact_misses_total", "artifact store lookups that found no entry", store.Misses)
 	counter("oicd_artifact_corrupt_total", "artifact store entries dropped as corrupt", store.Corrupt)
 	counter("oicd_artifact_writes_total", "artifacts written back after engine builds", store.Writes)
+	counter("oicd_artifact_retries_total", "transient artifact read failures absorbed by the bounded retry loop", store.Retries)
 	counter("oicd_artifact_preloaded_total", "engines materialized from artifacts at boot", m.artifactPreloaded.Load())
 	counter("oicd_steps_total", "control steps executed", m.steps.Load())
 	counter("oicd_skips_total", "steps that skipped the controller (z=0)", m.skips.Load())
@@ -120,9 +134,23 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 	counter("oicd_fleet_shed_total", "would-be computes shed into guaranteed-safe skips", m.fleetShed.Load())
 	counter("oicd_fleet_forced_total", "monitor-forced computes inside fleet ticks", m.fleetForced.Load())
 	counter("oicd_fleet_overrun_total", "forced computes beyond the per-tick budget", m.fleetOverrun.Load())
+	counter("oicd_fleet_degraded_total", "computes shed into certified-safe skips by fault or deadline degradation", m.fleetDegraded.Load())
 	// Seconds-sum + count: avg tick latency = sum/oicd_fleet_ticks_total.
 	fmt.Fprintf(w, "# HELP oicd_fleet_tick_seconds_sum total wall time inside fleet ticks\n# TYPE oicd_fleet_tick_seconds_sum counter\noicd_fleet_tick_seconds_sum %g\n",
 		float64(m.fleetTickNanos.Load())/1e9)
+
+	counter("oicd_journal_appends_total", "write-ahead journal records appended", js.Appends)
+	counter("oicd_journal_syncs_total", "write-ahead journal fsyncs issued", js.Syncs)
+	counter("oicd_journal_rotations_total", "write-ahead journal segments opened", js.Rotations)
+	counter("oicd_journal_bytes_total", "write-ahead journal bytes written", js.Bytes)
+	counter("oicd_journal_errors_total", "journal appends or syncs that failed (durability degraded, requests unaffected)", m.journalErrors.Load())
+	counter("oicd_journal_torn_tails_total", "segments truncated at a torn tail by the last recovery", m.journalTornTails.Load())
+	counter("oicd_journal_orphans_total", "journal records referencing unknown ids in the last recovery", m.journalOrphans.Load())
+	counter("oicd_recovered_sessions_total", "sessions resumed by the last journal recovery", m.recoveredSessions.Load())
+	counter("oicd_recovered_fleets_total", "fleets resumed by the last journal recovery", m.recoveredFleets.Load())
+	counter("oicd_recovered_members_total", "fleet members resumed by the last journal recovery", m.recoveredMembers.Load())
+	counter("oicd_recovered_steps_total", "steps replayed and conformance-verified by the last recovery", m.recoveredSteps.Load())
+	counter("oicd_recovery_failed_total", "journaled objects that failed to resume", m.recoveryFailed.Load())
 	if len(fleets) > 0 {
 		fleetGaugeF("oicd_fleet_sessions", "live members per fleet",
 			func(st oic.FleetStats) float64 { return float64(st.Sessions) })

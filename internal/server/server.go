@@ -29,6 +29,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"oic/internal/fault"
+	"oic/internal/journal"
 	"oic/pkg/oic"
 )
 
@@ -48,6 +50,11 @@ type Config struct {
 	// A fleet can hold thousands of pooled sessions, so the cap is much
 	// smaller than MaxSessions.
 	MaxFleets int
+	// RequestTimeout bounds each request's handling time: on expiry the
+	// request context cancels and the response is 503 {"code":"deadline"} —
+	// distinct from 499, which is reserved for the client going away.
+	// ≤ 0 disables (the http.Server read/write timeouts still apply).
+	RequestTimeout time.Duration
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -113,6 +120,17 @@ type Server struct {
 	store      *oic.ArtifactStore
 	preloading atomic.Bool
 
+	// jw is the optional write-ahead journal (OpenJournal); recovering
+	// gates /healthz and the creation endpoints while BeginJournalRecovery
+	// replays a previous journal to head.
+	jw         *journal.Writer
+	jopts      journal.Options
+	recovering atomic.Bool
+
+	// faults is the optional deterministic fault injector (SetFaults),
+	// threaded into the artifact store, the journal, and every fleet.
+	faults *fault.Injector
+
 	stopJanitor chan struct{}
 	janitorWG   sync.WaitGroup
 }
@@ -147,7 +165,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/fleets/{id}/sessions", s.handleFleetAdmit)
 	mux.HandleFunc("GET /v1/fleets/{id}/sessions/{mid}", s.handleFleetMemberGet)
 	mux.HandleFunc("DELETE /v1/fleets/{id}/sessions/{mid}", s.handleFleetMemberDelete)
+	if s.cfg.RequestTimeout > 0 {
+		return s.withRequestTimeout(mux)
+	}
 	return mux
+}
+
+// withRequestTimeout bounds each request's context. Handlers that respect
+// the context (stepping, ticking) observe context.DeadlineExceeded and map
+// it to 503 "deadline"; a client disconnect still cancels with
+// context.Canceled and maps to 499 — the two exits stay distinguishable.
+func (s *Server) withRequestTimeout(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// SetFaults installs (or clears, with nil) the deterministic fault
+// injector on every faultable subsystem the server owns: artifact-store
+// I/O, journal I/O (applied at OpenJournal), and fleet schedulers
+// (applied at fleet creation). Call before serving traffic.
+func (s *Server) SetFaults(inj *fault.Injector) {
+	s.faults = inj
+	if s.store != nil {
+		s.store.SetFaults(inj)
+	}
 }
 
 // StartJanitor launches the TTL eviction loop; Close stops it.
@@ -173,9 +217,18 @@ func (s *Server) StartJanitor() {
 	}()
 }
 
-// Close stops the janitor and closes every live session, recycling their
-// workspaces.
+// Close shuts the server down in durability order: flush and close the
+// journal first (the caller has already drained HTTP, so every
+// acknowledged step is in the buffer and must reach disk), then stop the
+// TTL janitor, then release every live session and fleet WITHOUT writing
+// close records — a shutdown is not a close, and the journal's open
+// sessions must survive into the next process's recovery.
 func (s *Server) Close() {
+	if s.jw != nil {
+		if err := s.jw.Close(); err != nil {
+			s.m.journalErrors.Add(1)
+		}
+	}
 	if s.stopJanitor != nil {
 		close(s.stopJanitor)
 		s.janitorWG.Wait()
@@ -216,11 +269,16 @@ func (s *Server) EvictIdle() int {
 	s.mu.Unlock()
 	for _, se := range victims {
 		se.s.Close()
+		s.journalCloseSession(se.id)
 		s.m.sessionsEvicted.Add(1)
 	}
 	for _, fe := range fleetVictims {
 		fe.f.Close()
+		s.journalCloseFleet(fe.id)
 		s.m.fleetsEvicted.Add(1)
+	}
+	if len(victims)+len(fleetVictims) > 0 {
+		s.journalSyncRequest()
 	}
 	return len(victims) + len(fleetVictims)
 }
@@ -329,6 +387,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		})
 		return
 	}
+	// While journal recovery replays to head, hold traffic the same way:
+	// the server must not serve until it again holds exactly the state it
+	// had acknowledged before the crash.
+	if s.recovering.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ok":         false,
+			"recovering": true,
+			"sessions":   live,
+			"engines":    engines,
+			"fleets":     fleets,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":       true,
 		"sessions": live,
@@ -354,7 +425,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		gauges[i] = fleetGauge{id: fe.id, stats: fe.f.Stats()}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.render(w, live, engines, gauges, s.ArtifactStats())
+	s.m.render(w, live, engines, gauges, s.ArtifactStats(), s.JournalStats())
 }
 
 func (s *Server) handlePlants(w http.ResponseWriter, _ *http.Request) {
@@ -362,6 +433,10 @@ func (s *Server) handlePlants(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		s.fail(w, errRecovering)
+		return
+	}
 	var req oic.CreateSessionRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.fail(w, err)
@@ -428,6 +503,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.sessions[id] = se
 	s.mu.Unlock()
 	s.m.sessionsCreated.Add(1)
+	// Write-ahead: the open record and step hook are in place before the
+	// create response (and so before any step) can be acknowledged.
+	s.journalOpenSession(id, eng, sess, x0)
+	s.journalSyncRequest()
 
 	info := sess.Info()
 	info.ID = id
@@ -462,6 +541,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	info.ID = se.id
 	info.Closed = true
 	se.s.Close()
+	s.journalCloseSession(se.id)
+	s.journalSyncRequest()
 	s.m.sessionsClosed.Add(1)
 	writeJSON(w, http.StatusOK, info)
 }
@@ -488,6 +569,9 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		start := s.cfg.Now()
 		results, err := se.s.StepMany(ctx, req.WS)
 		s.observeSteps(results, start)
+		// Under the per-tick policy the batch is the sync unit: all of it
+		// reaches disk before any of it is acknowledged.
+		s.journalSyncRequest()
 		if err != nil {
 			// Partial progress plus the terminal error, per-step shaped.
 			results = append(results, oic.StepResult{Error: err.Error()})
@@ -505,6 +589,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeSteps([]oic.StepResult{res}, start)
+	s.journalSyncRequest()
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -569,12 +654,18 @@ func statusAndCode(err error) (int, string) {
 		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, oic.ErrFleetClosed):
 		return http.StatusGone, "fleet_closed"
+	case errors.Is(err, errRecovering):
+		// Journal recovery is replaying to head; the client should retry
+		// once /healthz flips ready.
+		return http.StatusServiceUnavailable, "recovering"
 	case errors.Is(err, context.Canceled):
 		// Client went away mid-step: not a server error. 499 is nginx's
 		// "client closed request" convention.
 		return 499, "canceled"
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout, "deadline"
+		// The server's own -request-timeout expired: a retryable server
+		// condition (503), distinct from the 499 client-cancel above.
+		return http.StatusServiceUnavailable, "deadline"
 	case errors.Is(err, oic.ErrSessionClosed):
 		return http.StatusGone, "session_closed"
 	case errors.Is(err, oic.ErrNotTracing):

@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"testing"
+
+	"oic/internal/journal"
 )
 
 // BenchmarkSessionStep measures one facade step on the RMPC hot path
@@ -126,6 +128,77 @@ func BenchmarkFleetTick(b *testing.B) {
 	if st.Violations != 0 {
 		b.Fatalf("%d violations across %d ticks", st.Violations, st.Ticks)
 	}
+}
+
+// BenchmarkFleetTickJournaled is BenchmarkFleetTick with oicd's crash
+// journaling on at the production fleet policy (sync=tick): every member
+// step appends a TypeFleetStep record through the fleet step hook and
+// each tick ends with one fsync, exactly what the server does per tick
+// request under -journal-dir. The CI gate holds ns/op here within 1.15×
+// of the unjournaled BenchmarkFleetTick, pinning the durability tax.
+func BenchmarkFleetTickJournaled(b *testing.B) {
+	e := accEngine(b)
+	const sessions, budget, traceLen = 1000, 96, 128
+	f, err := e.NewFleet(FleetConfig{ComputeBudget: budget, MaxSessions: sessions})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	jw, err := journal.OpenWriter(journal.Options{Dir: b.TempDir(), Policy: journal.SyncEveryTick})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jw.Close()
+	nx, nu := e.NX(), e.NU()
+	f.SetStepHook(func(member int, ev StepEvent) {
+		rec := journal.Record{
+			Type: journal.TypeFleetStep, ID: "f-bench", Member: uint32(member), NX: nx, NU: nu,
+			Ran: ev.Ran, Forced: ev.Forced, Level: ev.Level,
+			W: ev.W, U: ev.U, X: ev.X,
+		}
+		if err := jw.Append(&rec); err != nil {
+			b.Error(err)
+		}
+	})
+	ids := make([]int, sessions)
+	traces := make([][][]float64, sessions)
+	for i := 0; i < sessions; i++ {
+		x0, w, err := e.DrawCase(int64(i+1), traceLen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ids[i], err = f.Admit(x0); err != nil {
+			b.Fatal(err)
+		}
+		traces[i] = w
+	}
+	ring := make([]map[int][]float64, traceLen)
+	for tk := 0; tk < traceLen; tk++ {
+		ws := make(map[int][]float64, sessions)
+		for i, id := range ids {
+			ws[id] = traces[i][tk]
+		}
+		ring[tk] = ws
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := f.Tick(ctx, ring[i%traceLen])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Violations != 0 {
+			b.Fatalf("tick %d: %d safety violations", i, rep.Violations)
+		}
+		if err := jw.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := jw.Stats()
+	b.ReportMetric(float64(st.Appends)/float64(b.N), "journal-appends/tick")
+	b.ReportMetric(float64(st.Bytes)/float64(int64(b.N)*sessions), "journal-bytes/session-step")
 }
 
 // BenchmarkTraceRecord measures the per-step cost of episode recording on

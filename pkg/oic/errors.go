@@ -57,4 +57,8 @@ var (
 	// dimensions, disturbance memory) does not match the engine asked to
 	// replay or audit it.
 	ErrTraceMismatch = errors.New("oic: trace does not match engine")
+	// ErrResumeMismatch: crash-recovery replay-to-head could not reproduce
+	// the recorded episode bit-for-bit — the journal and the rebuilt engine
+	// disagree, so the recovered session must not serve.
+	ErrResumeMismatch = errors.New("oic: resume replay diverged from recorded episode")
 )

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"oic/internal/core"
+	"oic/internal/fault"
 	"oic/internal/mat"
 	"oic/internal/reach"
 	"oic/internal/sched"
@@ -32,6 +33,15 @@ type FleetConfig struct {
 	// keeps stepping but its recording stops growing (the trace stays a
 	// complete prefix of the episode). ≤ 0 means unlimited.
 	TraceLimit int `json:"trace_limit,omitempty"`
+	// Degrade enables graceful degradation on member sessions: a κ failure
+	// at a state the monitor did not force (x ∈ X′, so the zero-input skip
+	// is certified by Theorem 1) downgrades to that skip instead of
+	// evicting the member. Forced-compute failures stay terminal.
+	Degrade bool `json:"degrade,omitempty"`
+	// TickDeadline bounds one tick's wall time: past it, still-pending
+	// optional computes with skip budget left shed into safe skips
+	// (counted in TickReport.Degraded). 0 means no deadline.
+	TickDeadline time.Duration `json:"tick_deadline_ns,omitempty"`
 }
 
 // DefaultFleetSessions is the MaxSessions default.
@@ -63,6 +73,8 @@ type Fleet struct {
 	byID    map[int]int    // member ID → index into members
 	nextID  int
 	closed  bool
+
+	hook func(member int, ev StepEvent) // write-ahead journaling hook; nil unless SetStepHook
 
 	lastForced int // backpressure signal: forced computes last tick
 	tickTime   time.Duration
@@ -102,6 +114,15 @@ func (m *fleetMember) Step(compute bool) error {
 	if m.rec != nil && !m.rec.Full() {
 		_ = m.rec.Append(rec.Ran, rec.Forced, uint8(rec.Level), rec.W, rec.U, rec.Next)
 	}
+	if h := m.f.hook; h != nil {
+		// Safe to read without the fleet lock: SetStepHook takes f.mu and
+		// Step only runs inside Tick, which holds it. The hook itself must
+		// be safe for concurrent calls — the step lane is parallel.
+		h(m.id, StepEvent{
+			T: rec.T, Ran: rec.Ran, Forced: rec.Forced, Level: uint8(rec.Level),
+			W: rec.W, U: rec.U, X: rec.Next,
+		})
+	}
 	return nil
 }
 
@@ -116,13 +137,32 @@ func (e *Engine) NewFleet(cfg FleetConfig) (*Fleet, error) {
 		cfg.MaxSessions = DefaultFleetSessions
 	}
 	return &Fleet{
-		eng:  e,
-		cfg:  cfg,
-		sb:   sb,
-		sch:  sched.New(sched.Config{ComputeBudget: cfg.ComputeBudget, Workers: cfg.Workers}),
+		eng: e,
+		cfg: cfg,
+		sb:  sb,
+		sch: sched.New(sched.Config{
+			ComputeBudget: cfg.ComputeBudget,
+			Workers:       cfg.Workers,
+			TickDeadline:  cfg.TickDeadline,
+		}),
 		zero: make(mat.Vec, e.NX()),
 		byID: map[int]int{},
 	}, nil
+}
+
+// SetFaults installs (or clears, with nil) a deterministic fault injector
+// on the fleet's scheduler — the chaos-testing entry point. Faults fire at
+// the compute-dispatch site; with FleetConfig.Degrade semantics, optional
+// computes with skip budget shed safely while forced ones fail loud.
+func (f *Fleet) SetFaults(inj *fault.Injector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sch = sched.New(sched.Config{
+		ComputeBudget: f.cfg.ComputeBudget,
+		Workers:       f.cfg.Workers,
+		TickDeadline:  f.cfg.TickDeadline,
+		Faults:        inj,
+	})
 }
 
 // Config returns the fleet's configuration (defaults applied).
@@ -155,6 +195,9 @@ func (f *Fleet) Admit(x0 []float64) (int, error) {
 	}
 	id := f.nextID
 	f.nextID++
+	if f.cfg.Degrade {
+		cs.SetDegrade(true)
+	}
 	m := &fleetMember{f: f, id: id, cs: cs, w: make(mat.Vec, f.eng.NX())}
 	if f.cfg.Trace {
 		m.rec = trace.NewRecorder(f.eng.traceMeta(), x0, f.eng.NU(), f.cfg.TraceLimit)
@@ -217,6 +260,7 @@ type TickReport struct {
 	Forced   int `json:"forced"`   // monitor-mandated computes (⊆ computes)
 	Shed     int `json:"shed"`     // would-be computes converted to safe skips
 	Overrun  int `json:"overrun"`  // forced computes beyond the budget
+	Degraded int `json:"degraded,omitempty"` // computes shed by fault or deadline degradation (⊆ shed)
 
 	// Utilization is computes / budget (0 when the budget is unlimited);
 	// > 1 reports a forced overrun.
@@ -285,7 +329,8 @@ func (f *Fleet) Tick(ctx context.Context, ws map[int][]float64) (TickReport, err
 		Sessions: st.Members,
 		Budget:   f.cfg.ComputeBudget,
 		Skips:    st.Skips, Computes: st.Computes, Forced: st.Forced,
-		Shed: st.Shed, Overrun: st.Overrun, ShedBudgetMin: st.ShedBudgetMin,
+		Shed: st.Shed, Overrun: st.Overrun, Degraded: st.Degraded,
+		ShedBudgetMin: st.ShedBudgetMin,
 	}
 	if f.cfg.ComputeBudget > 0 {
 		rep.Utilization = float64(st.Computes) / float64(f.cfg.ComputeBudget)
@@ -321,6 +366,7 @@ func (f *Fleet) Tick(ctx context.Context, ws map[int][]float64) (TickReport, err
 	f.stats.Forced += int64(st.Forced)
 	f.stats.Shed += int64(st.Shed)
 	f.stats.Overrun += int64(st.Overrun)
+	f.stats.Degraded += int64(st.Degraded)
 	rep.Elapsed = time.Since(start)
 	f.tickTime += rep.Elapsed
 	return rep, nil
@@ -376,6 +422,7 @@ type FleetMemberInfo struct {
 	Runs       int       `json:"runs"`
 	Forced     int       `json:"forced"`
 	Violations int       `json:"violations"`
+	Degraded   int       `json:"degraded,omitempty"` // κ failures downgraded to certified skips
 	Energy     float64   `json:"energy"`
 }
 
@@ -420,6 +467,7 @@ func (f *Fleet) Member(id int) (FleetMemberInfo, error) {
 		SkipBudget: f.sb.Remaining(x),
 		Skips:      res.Skips, Runs: res.Runs, Forced: res.Forced,
 		Violations: res.ViolationsX,
+		Degraded:   res.Degraded,
 		Energy:     res.Energy,
 	}, nil
 }
@@ -441,6 +489,7 @@ type FleetStats struct {
 	Forced   int64 `json:"forced"`
 	Shed     int64 `json:"shed"`
 	Overrun  int64 `json:"overrun"`
+	Degraded int64 `json:"degraded,omitempty"`
 
 	Admitted int64 `json:"admitted"`
 	Rejected int64 `json:"rejected"`

@@ -23,6 +23,7 @@ type Session struct {
 	eng    *Engine
 	cs     *core.Session
 	rec    *trace.Recorder // episode recording; nil unless StartTrace was called
+	hook   func(StepEvent) // write-ahead journaling hook; nil unless SetStepHook
 	closed bool
 	final  SessionInfo // snapshot served after Close (the workspace is recycled)
 }
@@ -70,6 +71,12 @@ func (s *Session) stepLocked(ctx context.Context, w []float64) (StepResult, erro
 	if s.rec != nil {
 		// rec carries views; the recorder copies into its arenas.
 		_ = s.rec.Append(rec.Ran, rec.Forced, uint8(rec.Level), rec.W, rec.U, rec.Next)
+	}
+	if s.hook != nil {
+		s.hook(StepEvent{
+			T: rec.T, Ran: rec.Ran, Forced: rec.Forced, Level: uint8(rec.Level),
+			W: rec.W, U: rec.U, X: rec.Next,
+		})
 	}
 	// rec carries buffer views (recording is off); clone at the facade
 	// boundary so the wire result is owned by the caller.
@@ -148,6 +155,7 @@ func (s *Session) infoLocked() SessionInfo {
 		Runs:       res.Runs,
 		Forced:     res.Forced,
 		Violations: res.ViolationsX,
+		Degraded:   res.Degraded,
 		Energy:     res.Energy,
 		Closed:     s.cs.Closed(),
 	}

@@ -50,6 +50,12 @@ func (e *Engine) traceMeta() trace.Meta {
 	}
 }
 
+// TraceMeta returns the engine's configuration fingerprint as trace
+// metadata — the identity a durability journal stores with every opened
+// session so crash recovery can rebuild the exact engine
+// (NewEngine(ConfigFromTrace) or an artifact-store hit).
+func (e *Engine) TraceMeta() TraceMeta { return e.traceMeta() }
+
 // ConfigFromTrace inverts a trace's fingerprint into the engine
 // configuration that recorded it — NewEngine(ConfigFromTrace(t)) rebuilds
 // the same compiled artifacts (including retraining an identical DRL

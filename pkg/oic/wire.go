@@ -4,6 +4,8 @@ package oic
 // HTTP server. Every type here is plain data — no internal types — so
 // external clients can vendor this file's shapes in any language.
 
+import "time"
+
 // ScenarioInfo describes one plant scenario.
 type ScenarioInfo struct {
 	ID          string `json:"id"`
@@ -81,6 +83,7 @@ type SessionInfo struct {
 	Runs       int       `json:"runs"`
 	Forced     int       `json:"forced"`
 	Violations int       `json:"violations"`
+	Degraded   int       `json:"degraded,omitempty"` // κ failures downgraded to certified skips
 	Energy     float64   `json:"energy"`
 	Closed     bool      `json:"closed"`
 }
@@ -102,6 +105,14 @@ type CreateFleetRequest struct {
 	MaxSessions   int   `json:"max_sessions,omitempty"`
 	Size          int   `json:"size,omitempty"`
 	Seed          int64 `json:"seed,omitempty"`
+
+	// Degrade and TickDeadline map to the FleetConfig fields of the same
+	// names: graceful degradation of optional κ failures into certified
+	// skips, and a per-tick wall-time bound. Runtime knobs — neither is
+	// journaled, so re-request them when recreating a fleet after
+	// recovery.
+	Degrade      bool          `json:"degrade,omitempty"`
+	TickDeadline time.Duration `json:"tick_deadline_ns,omitempty"`
 }
 
 // FleetInfo is a fleet snapshot: create/GET/DELETE responses.
