@@ -1,0 +1,191 @@
+package main
+
+// oic cluster — operator verbs against a running oicd-router:
+//
+//	oic cluster status                          per-node health, load, ownership
+//	oic cluster drain   -node NAME              live-migrate every session off a node
+//	oic cluster migrate -session ID [-target N] live-migrate one session
+//
+// Like every oic verb that talks to a server, the address comes from
+// -addr, defaulting to $OICD_ADDR and then http://127.0.0.1:8080.
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"syscall"
+	"time"
+
+	"oic/internal/cluster"
+	"oic/pkg/oic"
+)
+
+// serverAddr resolves the server address every remote oic verb uses:
+// explicit flag value, else $OICD_ADDR, else the local default.
+func serverAddr(flagValue string) string {
+	addr := flagValue
+	if addr == "" {
+		addr = os.Getenv("OICD_ADDR")
+	}
+	if addr == "" {
+		addr = "http://127.0.0.1:8080"
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// cleanNetErr turns transport failures into one-line operator messages —
+// "connection refused" instead of a wrapped url.Error chain.
+func cleanNetErr(addr string, err error) error {
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return fmt.Errorf("cannot reach %s: connection refused (is oicd-router running?)", addr)
+	}
+	var uerr *url.Error
+	if errors.As(err, &uerr) {
+		return fmt.Errorf("cannot reach %s: %v", addr, uerr.Err)
+	}
+	return err
+}
+
+func doCluster(args []string) {
+	fs := flag.NewFlagSet("oic cluster", flag.ExitOnError)
+	addrFlag := fs.String("addr", "", "oicd-router base URL (default $OICD_ADDR, then http://127.0.0.1:8080)")
+	node := fs.String("node", "", "drain: node name to evacuate")
+	session := fs.String("session", "", "migrate: session ID to move")
+	target := fs.String("target", "", "migrate: destination node (empty = placement chooses)")
+	jsonOut := fs.Bool("json", false, "emit the raw JSON response")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: oic cluster status|drain|migrate [flags]\n\n")
+		fs.PrintDefaults()
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	verb := args[0]
+	_ = fs.Parse(args[1:])
+	addr := serverAddr(*addrFlag)
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "oic: cluster %s: %v\n", verb, err)
+		os.Exit(1)
+	}
+
+	switch verb {
+	case "status":
+		var st cluster.ClusterStatus
+		if err := clusterCall(client, addr, http.MethodGet, "/v1/cluster", nil, &st); err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			_ = json.NewEncoder(os.Stdout).Encode(st)
+			return
+		}
+		fmt.Printf("cluster: %d session(s), %d fleet(s) routed", st.Sessions, st.Fleets)
+		if st.Lost > 0 {
+			fmt.Printf(", %d lost", st.Lost)
+		}
+		fmt.Println()
+		for _, n := range st.Nodes {
+			state := "ready"
+			switch {
+			case n.Dead:
+				state = "DEAD"
+			case !n.Live:
+				state = "down"
+			case !n.Ready:
+				state = "not-ready"
+			}
+			fmt.Printf("  %-12s %-24s %-9s sessions %d (owned %d)  fleets %d (owned %d)  pressure %.2f  reclaimed %.2f\n",
+				n.Name, n.Addr, state, n.Sessions, n.OwnedSessions, n.Fleets, n.OwnedFleets, n.Pressure, n.ReclaimedRatio)
+		}
+	case "drain":
+		if *node == "" {
+			fmt.Fprintln(os.Stderr, "oic: cluster drain requires -node NAME")
+			os.Exit(2)
+		}
+		var rep cluster.DrainReport
+		body, _ := json.Marshal(cluster.DrainRequest{Node: *node})
+		if err := clusterCall(client, addr, http.MethodPost, "/v1/cluster/drain", body, &rep); err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			_ = json.NewEncoder(os.Stdout).Encode(rep)
+			return
+		}
+		fmt.Printf("drained %s: %d migrated, %d failed", rep.Node, rep.Migrated, rep.Failed)
+		if rep.FleetsSkipped > 0 {
+			fmt.Printf(", %d fleet(s) left pinned", rep.FleetsSkipped)
+		}
+		fmt.Println()
+		for _, e := range rep.Errors {
+			fmt.Printf("  ! %s\n", e)
+		}
+	case "migrate":
+		if *session == "" {
+			fmt.Fprintln(os.Stderr, "oic: cluster migrate requires -session ID")
+			os.Exit(2)
+		}
+		var rep cluster.MigrateReport
+		body, _ := json.Marshal(cluster.MigrateRequest{Session: *session, Target: *target})
+		if err := clusterCall(client, addr, http.MethodPost, "/v1/cluster/migrate", body, &rep); err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			_ = json.NewEncoder(os.Stdout).Encode(rep)
+			return
+		}
+		kind := "migrated"
+		if rep.Failover {
+			kind = "failed over"
+		}
+		fmt.Printf("%s %s: %s → %s, %d step(s) replayed in %.1f ms\n",
+			kind, rep.Session, rep.From, rep.To, rep.Steps, rep.Millis)
+	default:
+		fmt.Fprintf(os.Stderr, "oic: unknown cluster verb %q\n", verb)
+		fs.Usage()
+		os.Exit(2)
+	}
+}
+
+// clusterCall performs one router round trip, decoding either the result
+// or the server's uniform error payload.
+func clusterCall(client *http.Client, addr, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequest(method, addr+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return cleanNetErr(addr, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return cleanNetErr(addr, err)
+	}
+	if resp.StatusCode >= 300 {
+		var er oic.ErrorResponse
+		if json.Unmarshal(b, &er) == nil && er.Error != "" {
+			return fmt.Errorf("%s (%s)", er.Error, er.Code)
+		}
+		return fmt.Errorf("server answered %d", resp.StatusCode)
+	}
+	return json.Unmarshal(b, out)
+}

@@ -25,6 +25,9 @@
 //	oic journal — inspect an oicd write-ahead journal directory
 //	              (-journal-dir): fold its segments and report every
 //	              session and fleet with its replay position (DESIGN.md §10)
+//	oic cluster — operate a multi-node oicd cluster through its router:
+//	              status, drain, and live migration (DESIGN.md §11); the
+//	              router address comes from -addr, then $OICD_ADDR
 //	oic all     — everything above except fleet, record, replay, export,
 //	              import, and journal
 //
@@ -90,7 +93,7 @@ func main() {
 	journalDir := fs.String("journal-dir", "", "journal: oicd write-ahead journal directory to inspect")
 
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|fleet|record|replay|export|import|journal|all [flags]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: oic [flags] plants|fig4|fig5|fig6|table1|timing|sets|budget|fleet|record|replay|export|import|journal|cluster|all [flags]\n\n")
 		fs.PrintDefaults()
 	}
 	// Parse flags first, then take the first positional argument as the
@@ -104,6 +107,12 @@ func main() {
 	if cmd == "" {
 		fs.Usage()
 		os.Exit(2)
+	}
+	if cmd == "cluster" {
+		// Cluster verbs parse their own flags (they take a router address,
+		// not a plant), so they dispatch before the generic re-parse.
+		doCluster(fs.Args()[1:])
+		return
 	}
 	if fs.NArg() > 1 {
 		fs.Parse(fs.Args()[1:])

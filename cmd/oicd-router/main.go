@@ -1,0 +1,110 @@
+// Command oicd-router is the multi-node front end of oicd (DESIGN.md
+// §11): it speaks the full /v1/* API of a single node, shards sessions
+// and fleets across a cluster of oicd processes by consistent-hashing
+// their canonical config fingerprints, and keeps every session movable —
+// live migration drains a session through freeze → trace export →
+// replay-to-head with bit-exact verification, and node death triggers
+// automatic failover from the router's shadow episodes.
+//
+// The membership file is static JSON:
+//
+//	{"nodes": [{"name": "a", "addr": "http://127.0.0.1:8081"},
+//	           {"name": "b", "addr": "http://127.0.0.1:8082"}]}
+//
+// Cluster operations (also exposed as `oic cluster ...`):
+//
+//	GET  /v1/cluster          status: health, load, ownership per node
+//	POST /v1/cluster/migrate  {"session": "c-1", "target": "b"}
+//	POST /v1/cluster/drain    {"node": "a"}
+//
+// Usage:
+//
+//	oicd-router -cluster nodes.json [-addr :8080] [-probe-interval 1s]
+//	            [-vnodes 64] [-pressure-max 1.0] [-death-threshold 3]
+//	            [-failover] [-shadow-limit 100000]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oic/internal/cluster"
+
+	// Register the case studies: the router canonicalizes configs (scenario
+	// resolution needs the plant registry) even though it runs no engines.
+	_ "oic/internal/acc"
+	_ "oic/internal/orbit"
+	_ "oic/internal/thermo"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	clusterFile := flag.String("cluster", "", "membership file (required): JSON list of node names and base URLs")
+	probeInterval := flag.Duration("probe-interval", time.Second, "health/load probe period")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per member on the placement ring")
+	pressureMax := flag.Float64("pressure-max", 1.0, "skip nodes whose worst fleet pressure (forced computes / budget) reached this")
+	deathThreshold := flag.Int("death-threshold", 3, "consecutive failed liveness probes before a node is declared dead")
+	failover := flag.Bool("failover", true, "on node death, re-home its sessions onto survivors from shadow episodes")
+	shadowLimit := flag.Int("shadow-limit", 100_000, "per-session shadow episode cap (sessions beyond it cannot fail over)")
+	nodeTimeout := flag.Duration("node-timeout", 30*time.Second, "per-request timeout for node round trips")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	if *clusterFile == "" {
+		log.Fatalf("oicd-router: -cluster is required")
+	}
+	mem, err := cluster.LoadMembership(*clusterFile)
+	if err != nil {
+		log.Fatalf("oicd-router: %v", err)
+	}
+	rt, err := cluster.New(mem, cluster.Config{
+		Vnodes:         *vnodes,
+		PressureMax:    *pressureMax,
+		ShadowLimit:    *shadowLimit,
+		DeathThreshold: *deathThreshold,
+		AutoFailover:   *failover,
+		Client:         &http.Client{Timeout: *nodeTimeout},
+	})
+	if err != nil {
+		log.Fatalf("oicd-router: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	rt.Start(ctx, *probeInterval)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("oicd-router: serving on %s over %d node(s) (probe %v, failover %v)",
+		*addr, len(mem.Nodes), *probeInterval, *failover)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("oicd-router: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("oicd-router: shutting down (grace %v)", *shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("oicd-router: shutdown: %v", err)
+	}
+	rt.Stop()
+	log.Printf("oicd-router: bye")
+}

@@ -10,7 +10,7 @@
 // architecture.
 //
 // Crash safety: with -journal-dir every acknowledged step is write-ahead
-// journaled, and a restart replays the journal to head — /healthz holds
+// journaled, and a restart replays the journal to head — /readyz holds
 // 503 {"recovering":true} until every pre-crash session is byte-for-byte
 // back (DESIGN.md §10).
 //
@@ -56,7 +56,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 	artifactDir := flag.String("artifact-dir", "", "on-disk engine artifact store: check before building engines, write back after; empty disables")
-	preload := flag.Bool("preload", false, "materialize every artifact in -artifact-dir into the engine cache at boot (/healthz reports 503 until done)")
+	preload := flag.Bool("preload", false, "materialize every artifact in -artifact-dir into the engine cache at boot (/readyz reports 503 until done)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request handling deadline; expiry returns 503 {\"code\":\"deadline\"} (0 disables)")
 	journalDir := flag.String("journal-dir", "", "write-ahead journal directory: every acknowledged step is journaled, and a restart replays the journal to head before serving; empty disables")
 	journalSync := flag.String("journal-sync", "step", "journal fsync policy: step (every append), tick (once per step/tick request), interval, or none")
@@ -101,7 +101,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("oicd: journal recovery: %v", err)
 		}
-		// Serve (503 on /healthz and the create endpoints) while replay
+		// Serve (503 on /readyz and the create endpoints) while replay
 		// runs, so a restart holds traffic until the pre-crash state is
 		// byte-for-byte back.
 		go func() {
@@ -120,7 +120,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("oicd: -preload: %v", err)
 		}
-		// Serve (503 on /healthz) while the catalogue materializes, so a
+		// Serve (503 on /readyz) while the catalogue materializes, so a
 		// rolling restart holds traffic instead of rebuilding engines.
 		go func() {
 			n, err := run()

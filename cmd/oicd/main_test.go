@@ -191,12 +191,13 @@ func freeAddr(t *testing.T) string {
 	return addr
 }
 
-// waitHealthy polls /healthz until it reports ready.
+// waitHealthy polls /readyz until it reports ready — readiness, not
+// liveness, is what gates traffic while recovery or preloading runs.
 func waitHealthy(t *testing.T, base string, timeout time.Duration) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(base + "/healthz")
+		resp, err := http.Get(base + "/readyz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {

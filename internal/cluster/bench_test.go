@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"oic/internal/server"
+	"oic/pkg/oic"
+)
+
+// benchSession creates a routed session and returns its step URL plus
+// the client to drive it. The router sits behind a real HTTP listener so
+// both network hops (client→router, router→node) are on the wire.
+func benchSession(b *testing.B, batch int) (string, *http.Client, [][]float64) {
+	rt, _ := testCluster(b, 1, server.Config{}, Config{})
+	rts := httptest.NewServer(rt.Handler())
+	b.Cleanup(rts.Close)
+
+	eng, err := oic.NewEngine(oic.Config{Plant: "acc", Policy: oic.PolicyAlwaysRun})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0, ws, err := eng.DrawCase(1, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, _ := json.Marshal(oic.CreateSessionRequest{Plant: "acc", Policy: oic.PolicyAlwaysRun, X0: x0})
+	resp, err := http.Post(rts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var info oic.SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("create: %d", resp.StatusCode)
+	}
+	return rts.URL + "/v1/sessions/" + info.ID + "/step", rts.Client(), ws
+}
+
+// BenchmarkRouterStep measures the per-step cost of stepping through the
+// router in the batched client mode (64 disturbances per request, the
+// same amortization the fleet tick and sync=tick journaling lean on):
+// router HTTP handling, ownership lookup, node round trip, and shadow
+// append for every step. ns/op is per step. CI gates this against
+// internal/server's direct single-step BenchmarkServerStep at ≤ 1.25× —
+// batching amortizes the proxy's extra network hop below that budget;
+// the unamortized hop is BenchmarkRouterStepSingle below.
+func BenchmarkRouterStep(b *testing.B) {
+	const batch = 64
+	url, client, ws := benchSession(b, batch)
+	body, _ := json.Marshal(oic.StepRequest{WS: ws})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkRouterStepSingle is the worst case: one step per request, so
+// the proxy's second HTTP round trip is paid in full on every step.
+// Kept visible (not gated) so the hop cost stays measured.
+func BenchmarkRouterStepSingle(b *testing.B) {
+	url, client, ws := benchSession(b, 1)
+	step, _ := json.Marshal(oic.StepRequest{W: ws[0]})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(step))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

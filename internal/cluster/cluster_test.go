@@ -1,0 +1,614 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"oic/internal/server"
+	"oic/pkg/oic"
+
+	_ "oic/internal/acc"
+	_ "oic/internal/thermo"
+)
+
+// testNode is one in-process oicd node behind a real listener.
+type testNode struct {
+	name string
+	srv  *server.Server
+	ts   *httptest.Server
+}
+
+// testCluster builds n in-process nodes plus a router over them and
+// probes once so every node is known ready.
+func testCluster(t testing.TB, n int, nodeCfg server.Config, rtCfg Config) (*Router, []*testNode) {
+	t.Helper()
+	mem := &Membership{}
+	nodes := make([]*testNode, n)
+	for i := 0; i < n; i++ {
+		srv := server.New(nodeCfg)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+		name := string(rune('a' + i))
+		nodes[i] = &testNode{name: name, srv: srv, ts: ts}
+		mem.Nodes = append(mem.Nodes, Node{Name: name, Addr: ts.URL})
+	}
+	rt, err := New(mem, rtCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ProbeOnce(context.Background())
+	return rt, nodes
+}
+
+// rc is a typed client over the router handler.
+type rc struct {
+	t testing.TB
+	h http.Handler
+}
+
+func (c *rc) do(method, path string, body, out any) int {
+	c.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	c.h.ServeHTTP(w, req)
+	if out != nil && w.Code < 300 {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			c.t.Fatalf("%s %s: decoding %q: %v", method, path, w.Body.String(), err)
+		}
+	}
+	return w.Code
+}
+
+func (c *rc) raw(method, path string) (int, []byte) {
+	c.t.Helper()
+	req := httptest.NewRequest(method, path, nil)
+	w := httptest.NewRecorder()
+	c.h.ServeHTTP(w, req)
+	return w.Code, w.Body.Bytes()
+}
+
+func accCase(t testing.TB, steps int) ([]float64, [][]float64) {
+	t.Helper()
+	eng, err := oic.NewEngine(oic.Config{Plant: "acc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, ws, err := eng.DrawCase(9, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x0, ws
+}
+
+// referenceTrace runs the same episode uninterrupted on a single node
+// and exports its binary trace — the byte-identity oracle.
+func referenceTrace(t testing.TB, x0 []float64, ws [][]float64) []byte {
+	t.Helper()
+	eng, err := oic.NewEngine(oic.Config{Plant: "acc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.NewSession(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.StartTrace(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StepMany(context.Background(), ws); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := oic.EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// TestMigrationByteIdentical is the PR's acceptance criterion: a session
+// created through the router, stepped 100 times, live-migrated to the
+// other node, and stepped 100 more produces a trace byte-identical to
+// 200 uninterrupted steps on a single node.
+func TestMigrationByteIdentical(t *testing.T) {
+	rt, nodes := testCluster(t, 2, server.Config{}, Config{})
+	c := &rc{t: t, h: rt.Handler()}
+
+	const half = 100
+	x0, ws := accCase(t, 2*half)
+
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", X0: x0}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	if !strings.HasPrefix(info.ID, "c-") {
+		t.Fatalf("router session ID %q, want c- prefix", info.ID)
+	}
+	for i := 0; i < half; i++ {
+		var res oic.StepResult
+		if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{W: ws[i]}, &res); st != http.StatusOK {
+			t.Fatalf("step %d: status %d", i, st)
+		}
+	}
+
+	// Live-migrate to the node that does not own it.
+	e, ok := rt.session(info.ID)
+	if !ok {
+		t.Fatal("router lost the session entry")
+	}
+	from := e.nodeName()
+	var target string
+	for _, n := range nodes {
+		if n.name != from {
+			target = n.name
+		}
+	}
+	var rep MigrateReport
+	if st := c.do("POST", "/v1/cluster/migrate", MigrateRequest{Session: info.ID, Target: target}, &rep); st != http.StatusOK {
+		t.Fatalf("migrate: status %d", st)
+	}
+	if rep.From != from || rep.To != target || rep.Steps != half || rep.Failover {
+		t.Fatalf("migrate report: %+v", rep)
+	}
+	if got := e.nodeName(); got != target {
+		t.Fatalf("ownership points at %s, want %s", got, target)
+	}
+
+	// Second half lands on the new owner (batched, exercising the WS
+	// shadow path too).
+	var batch oic.StepResponse
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{WS: ws[half:]}, &batch); st != http.StatusOK {
+		t.Fatalf("batch after migrate: status %d", st)
+	}
+	if len(batch.Results) != half {
+		t.Fatalf("batch results: %d, want %d", len(batch.Results), half)
+	}
+
+	var got oic.SessionInfo
+	if st := c.do("GET", "/v1/sessions/"+info.ID, nil, &got); st != http.StatusOK || got.T != 2*half {
+		t.Fatalf("info after migrate: status %d, %+v", st, got)
+	}
+	if got.Violations != 0 {
+		t.Fatalf("safety violations after migration: %d", got.Violations)
+	}
+
+	st, bin := c.raw("GET", "/v1/sessions/"+info.ID+"/trace?format=binary")
+	if st != http.StatusOK {
+		t.Fatalf("trace export: status %d", st)
+	}
+	want := referenceTrace(t, x0, ws)
+	if !bytes.Equal(bin, want) {
+		t.Fatalf("migrated trace differs from uninterrupted reference (%d vs %d bytes)", len(bin), len(want))
+	}
+
+	// The source node no longer holds a copy.
+	if e.nodeName() == from {
+		t.Fatal("entry still points at source")
+	}
+	total := 0
+	for _, n := range nodes {
+		total += n.srv.SessionCount()
+	}
+	if total != 1 {
+		t.Fatalf("%d sessions across nodes after migration, want 1", total)
+	}
+}
+
+// TestMigrateMidSkipChain migrates at a cut where the previous step was
+// a policy skip and the state still has nonzero remaining skip budget —
+// the hardest resume point, since the successor must reproduce the
+// mid-chain commitment bit-for-bit.
+func TestMigrateMidSkipChain(t *testing.T) {
+	const steps = 60
+	x0, ws := accCase(t, steps)
+
+	// Find a mid-skip-chain cut in the reference episode.
+	ref, err := oic.DecodeTrace(referenceTrace(t, x0, ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := oic.NewEngine(oic.Config{Plant: "acc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := -1
+	for i := 1; i < steps-1; i++ {
+		if ref.Steps[i-1].Ran {
+			continue
+		}
+		if b, err := eng.SkipBudget(ref.Steps[i-1].X); err == nil && b >= 1 {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		t.Skip("episode has no mid-skip-chain cut (policy never skipped with budget left)")
+	}
+
+	rt, nodes := testCluster(t, 2, server.Config{}, Config{})
+	c := &rc{t: t, h: rt.Handler()}
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", X0: x0}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	var pre oic.StepResponse
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{WS: ws[:cut]}, &pre); st != http.StatusOK {
+		t.Fatalf("steps to cut: status %d", st)
+	}
+
+	e, _ := rt.session(info.ID)
+	from := e.nodeName()
+	var target string
+	for _, n := range nodes {
+		if n.name != from {
+			target = n.name
+		}
+	}
+	if _, err := rt.MigrateSession(context.Background(), info.ID, target); err != nil {
+		t.Fatalf("migrate at mid-skip-chain cut %d: %v", cut, err)
+	}
+	var post oic.StepResponse
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{WS: ws[cut:]}, &post); st != http.StatusOK {
+		t.Fatalf("steps after cut: status %d", st)
+	}
+	st, bin := c.raw("GET", "/v1/sessions/"+info.ID+"/trace?format=binary")
+	if st != http.StatusOK {
+		t.Fatalf("trace export: status %d", st)
+	}
+	want, _ := oic.EncodeTrace(ref)
+	if !bytes.Equal(bin, want) {
+		t.Fatalf("mid-skip-chain migration trace differs from reference (cut %d)", cut)
+	}
+}
+
+// TestMigrateAtTraceLimit migrates a session whose episode sits exactly
+// at the node trace cap: the import must accept a limit-length episode,
+// and stepping past the cap must fail identically on the new owner.
+func TestMigrateAtTraceLimit(t *testing.T) {
+	const limit = 8
+	rt, nodes := testCluster(t, 2, server.Config{TraceLimit: limit}, Config{})
+	c := &rc{t: t, h: rt.Handler()}
+	x0, ws := accCase(t, limit)
+
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", X0: x0}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	var resp oic.StepResponse
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{WS: ws}, &resp); st != http.StatusOK {
+		t.Fatalf("steps to limit: status %d", st)
+	}
+
+	e, _ := rt.session(info.ID)
+	from := e.nodeName()
+	var target string
+	for _, n := range nodes {
+		if n.name != from {
+			target = n.name
+		}
+	}
+	rep, err := rt.MigrateSession(context.Background(), info.ID, target)
+	if err != nil {
+		t.Fatalf("migrate at trace limit: %v", err)
+	}
+	if rep.Steps != limit {
+		t.Fatalf("migrated %d steps, want %d", rep.Steps, limit)
+	}
+	// Past the cap the new owner answers exactly like the old one would:
+	// 409 trace_limit.
+	var er oic.ErrorResponse
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", nil, nil); st != http.StatusConflict {
+		t.Fatalf("step past limit after migration: status %d, want 409", st)
+	} else {
+		req := httptest.NewRequest("POST", "/v1/sessions/"+info.ID+"/step", strings.NewReader("{}"))
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, req)
+		if json.Unmarshal(w.Body.Bytes(), &er) != nil || er.Code != "trace_limit" {
+			t.Fatalf("step past limit: body %s, want trace_limit", w.Body.String())
+		}
+	}
+}
+
+// TestMigrateMemberCollision: importing a member episode under an ID the
+// target fleet has already issued (live, evicted, or reserved) fails
+// loudly with ErrMigrateMismatch — identity is never silently renumbered.
+func TestMigrateMemberCollision(t *testing.T) {
+	rt, _ := testCluster(t, 2, server.Config{}, Config{})
+	c := &rc{t: t, h: rt.Handler()}
+
+	mkFleet := func(size int, seed int64) string {
+		var info oic.FleetInfo
+		if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+			Plant: "acc", ComputeBudget: 8, Size: size, Seed: seed,
+		}, &info); st != http.StatusCreated {
+			t.Fatalf("fleet create: status %d", st)
+		}
+		return info.ID
+	}
+	src := mkFleet(3, 1)
+	dstBusy := mkFleet(2, 2)  // has issued member IDs 0 and 1 already
+	dstEmpty := mkFleet(0, 0) // never issued any ID
+
+	var tick oic.FleetTickResponse
+	if st := c.do("POST", "/v1/fleets/"+src+"/tick", oic.FleetTickRequest{Ticks: 5}, &tick); st != http.StatusOK {
+		t.Fatalf("src tick: status %d", st)
+	}
+
+	// Collision with an already-issued ID → typed mismatch.
+	err := rt.MigrateMember(context.Background(), src, 1, dstBusy)
+	if !errors.Is(err, ErrMigrateMismatch) {
+		t.Fatalf("member migrate onto issued ID: %v, want ErrMigrateMismatch", err)
+	}
+	// Eviction doesn't free the ID: delete member 1 from the busy fleet
+	// and the import must still refuse it.
+	if st := c.do("DELETE", "/v1/fleets/"+dstBusy+"/sessions/1", nil, nil); st != http.StatusOK {
+		t.Fatalf("evict member: status %d", st)
+	}
+	err = rt.MigrateMember(context.Background(), src, 1, dstBusy)
+	if !errors.Is(err, ErrMigrateMismatch) {
+		t.Fatalf("member migrate onto evicted ID: %v, want ErrMigrateMismatch", err)
+	}
+	// The same episode lands cleanly where the ID was never issued.
+	if err := rt.MigrateMember(context.Background(), src, 1, dstEmpty); err != nil {
+		t.Fatalf("member migrate onto fresh fleet: %v", err)
+	}
+	var member oic.FleetMemberInfo
+	if st := c.do("GET", "/v1/fleets/"+dstEmpty+"/sessions/1", nil, &member); st != http.StatusOK || member.ID != 1 || member.T != 5 {
+		t.Fatalf("landed member: status %d, %+v", st, member)
+	}
+}
+
+// TestFailoverByteIdentical kills the owning node outright and re-homes
+// its session from the router's shadow episode: the survivor continues
+// the episode and the final trace is byte-identical to an uninterrupted
+// single-node run.
+func TestFailoverByteIdentical(t *testing.T) {
+	rt, nodes := testCluster(t, 2, server.Config{}, Config{DeathThreshold: 2})
+	c := &rc{t: t, h: rt.Handler()}
+
+	const half = 50
+	x0, ws := accCase(t, 2*half)
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", X0: x0}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	for i := 0; i < half; i++ {
+		if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{W: ws[i]}, nil); st != http.StatusOK {
+			t.Fatalf("step %d: status %d", i, st)
+		}
+	}
+
+	// Kill the owner.
+	e, _ := rt.session(info.ID)
+	owner := e.nodeName()
+	for _, n := range nodes {
+		if n.name == owner {
+			n.ts.Close()
+		}
+	}
+	// A step against the dead shard answers the consistent error.
+	var er oic.ErrorResponse
+	st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{W: ws[half]}, nil)
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("step on dead shard: status %d, want 503", st)
+	}
+	{
+		b, _ := json.Marshal(oic.StepRequest{W: ws[half]})
+		req := httptest.NewRequest("POST", "/v1/sessions/"+info.ID+"/step", bytes.NewReader(b))
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, req)
+		if json.Unmarshal(w.Body.Bytes(), &er) != nil || er.Code != "shard_down" {
+			t.Fatalf("dead shard error: %s, want shard_down", w.Body.String())
+		}
+	}
+
+	// Declare death (threshold 2) and fail over explicitly.
+	rt.ProbeOnce(context.Background())
+	rt.ProbeOnce(context.Background())
+	moved, failed, err := rt.FailoverNode(context.Background(), owner)
+	if err != nil || moved != 1 || failed != 0 {
+		t.Fatalf("failover: moved %d failed %d err %v", moved, failed, err)
+	}
+	if got := e.nodeName(); got == owner {
+		t.Fatal("session still pinned to dead node")
+	}
+
+	// The client retries the unacknowledged step, then finishes.
+	for i := half; i < 2*half; i++ {
+		if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{W: ws[i]}, nil); st != http.StatusOK {
+			t.Fatalf("step %d after failover: status %d", i, st)
+		}
+	}
+	var got oic.SessionInfo
+	if st := c.do("GET", "/v1/sessions/"+info.ID, nil, &got); st != http.StatusOK || got.T != 2*half || got.Violations != 0 {
+		t.Fatalf("info after failover: status %d, %+v", st, got)
+	}
+	stc, bin := c.raw("GET", "/v1/sessions/"+info.ID+"/trace?format=binary")
+	if stc != http.StatusOK {
+		t.Fatalf("trace export: status %d", stc)
+	}
+	if want := referenceTrace(t, x0, ws); !bytes.Equal(bin, want) {
+		t.Fatal("failover trace differs from uninterrupted reference")
+	}
+}
+
+// TestDrainNode empties a node through the operator path and reports
+// fleets as skipped, not failed.
+func TestDrainNode(t *testing.T) {
+	rt, nodes := testCluster(t, 2, server.Config{}, Config{})
+	c := &rc{t: t, h: rt.Handler()}
+
+	// A few sessions with distinct configs so both nodes own some.
+	ids := make([]string, 0, 4)
+	for _, cfgReq := range []oic.CreateSessionRequest{
+		{Plant: "acc", Seed: 1}, {Plant: "acc", Seed: 2},
+		{Plant: "thermo", Seed: 3}, {Plant: "thermo", Memory: 2, Seed: 4},
+	} {
+		var info oic.SessionInfo
+		if st := c.do("POST", "/v1/sessions", cfgReq, &info); st != http.StatusCreated {
+			t.Fatalf("create: status %d", st)
+		}
+		for range 10 {
+			if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", nil, nil); st != http.StatusOK {
+				t.Fatalf("step: status %d", st)
+			}
+		}
+		ids = append(ids, info.ID)
+	}
+	var fl oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{Plant: "acc", ComputeBudget: 4, Size: 4, Seed: 9}, &fl); st != http.StatusCreated {
+		t.Fatalf("fleet create: status %d", st)
+	}
+
+	victim := nodes[0].name
+	var rep DrainReport
+	if st := c.do("POST", "/v1/cluster/drain", DrainRequest{Node: victim}, &rep); st != http.StatusOK {
+		t.Fatalf("drain: status %d", st)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("drain failures: %+v", rep)
+	}
+	for _, id := range ids {
+		e, ok := rt.session(id)
+		if !ok {
+			t.Fatalf("session %s vanished", id)
+		}
+		if e.nodeName() == victim {
+			t.Fatalf("session %s still on drained node", id)
+		}
+		var got oic.SessionInfo
+		if st := c.do("GET", "/v1/sessions/"+id, nil, &got); st != http.StatusOK || got.T != 10 {
+			t.Fatalf("post-drain info %s: status %d, %+v", id, st, got)
+		}
+	}
+	if nodes[0].srv.SessionCount() != 0 {
+		t.Fatalf("drained node still holds %d sessions", nodes[0].srv.SessionCount())
+	}
+	st := rt.Status()
+	for _, n := range st.Nodes {
+		if n.Name == victim && n.OwnedFleets > 0 && rep.FleetsSkipped == 0 {
+			t.Fatalf("fleet on drained node not reported skipped: %+v", rep)
+		}
+	}
+}
+
+// TestPlacementDeterministic: the ring maps equal fingerprints to equal
+// nodes, every fingerprint to some node, and skips not-ready members.
+func TestPlacementDeterministic(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r := newRing(names, 64)
+	counts := map[string]int{}
+	fps := []string{
+		"acc|cruise|bang-bang|m0|e0|s0|seed0",
+		"thermo|heat|drl|m4|e500|s200|seed1",
+		"orbit|hold|always-run|m0|e0|s0|seed0",
+	}
+	for _, fp := range fps {
+		o1, o2 := r.order(fp), r.order(fp)
+		if len(o1) != len(names) {
+			t.Fatalf("order(%q) covers %d nodes, want %d", fp, len(o1), len(names))
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("order(%q) not deterministic: %v vs %v", fp, o1, o2)
+			}
+		}
+		counts[o1[0]]++
+	}
+	// Distribution sanity across many keys: no node starves.
+	counts = map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[r.order(fps[0]+string(rune('a'+i%26))+string(rune('a'+i/26)))[0]]++
+	}
+	for _, n := range names {
+		if counts[n] == 0 {
+			t.Fatalf("node %s never preferred: %v", n, counts)
+		}
+	}
+}
+
+// TestRouterReadyz: the router is ready iff at least one shard is.
+func TestRouterReadyz(t *testing.T) {
+	rt, nodes := testCluster(t, 2, server.Config{}, Config{DeathThreshold: 1})
+	c := &rc{t: t, h: rt.Handler()}
+	if st, _ := c.raw("GET", "/readyz"); st != http.StatusOK {
+		t.Fatalf("readyz with live shards: %d", st)
+	}
+	if st, _ := c.raw("GET", "/healthz"); st != http.StatusOK {
+		t.Fatalf("healthz: %d", st)
+	}
+	for _, n := range nodes {
+		n.ts.Close()
+	}
+	rt.ProbeOnce(context.Background())
+	if st, _ := c.raw("GET", "/readyz"); st != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with all shards down: %d, want 503", st)
+	}
+	// Liveness of the router itself is unaffected.
+	if st, _ := c.raw("GET", "/healthz"); st != http.StatusOK {
+		t.Fatalf("healthz with shards down: %d", st)
+	}
+	var er oic.ErrorResponse
+	req := httptest.NewRequest("POST", "/v1/sessions", strings.NewReader(`{"plant":"acc"}`))
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable || json.Unmarshal(w.Body.Bytes(), &er) != nil || er.Code != "no_shard" {
+		t.Fatalf("create with no shards: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestMembershipValidation covers the registry's structural checks.
+func TestMembershipValidation(t *testing.T) {
+	for _, bad := range []string{
+		`{}`,
+		`{"nodes":[]}`,
+		`{"nodes":[{"name":"","addr":"http://x"}]}`,
+		`{"nodes":[{"name":"a","addr":""}]}`,
+		`{"nodes":[{"name":"a","addr":"http://x"},{"name":"a","addr":"http://y"}]}`,
+	} {
+		if _, err := ParseMembership([]byte(bad)); err == nil {
+			t.Errorf("ParseMembership(%s) accepted", bad)
+		}
+	}
+	m, err := ParseMembership([]byte(`{"nodes":[{"name":"a","addr":"http://x"},{"name":"b","addr":"http://y"}]}`))
+	if err != nil || len(m.Nodes) != 2 {
+		t.Fatalf("valid membership rejected: %v", err)
+	}
+}
+
+// TestParseLoadGauges pins the scrape parser against a realistic
+// exposition fragment.
+func TestParseLoadGauges(t *testing.T) {
+	body := []byte(`# HELP oicd_sessions_active live sessions
+# TYPE oicd_sessions_active gauge
+oicd_sessions_active 42
+oicd_fleets_active 2
+oicd_fleet_pressure{fleet="f-1"} 0.25
+oicd_fleet_pressure{fleet="f-2"} 1.5
+oicd_fleet_reclaimed_ratio{fleet="f-1"} 0.5
+oicd_fleet_reclaimed_ratio{fleet="f-2"} 0.7
+`)
+	s, f, p, rec := parseLoadGauges(body)
+	if s != 42 || f != 2 || p != 1.5 || rec != 0.6000000000000001 && rec != 0.6 {
+		t.Fatalf("parseLoadGauges = %d %d %g %g", s, f, p, rec)
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// routerMetrics are the router's own counters, exposed at /metrics in
+// the same text exposition the nodes speak (prefix oicd_router_).
+type routerMetrics struct {
+	proxied     atomic.Int64 // node round trips completed (any status)
+	proxyErrors atomic.Int64 // node round trips that failed at transport level
+	shardDown   atomic.Int64 // requests answered 503 shard_down
+
+	sessionsCreated atomic.Int64
+	fleetsCreated   atomic.Int64
+
+	shadowSteps   atomic.Int64 // acknowledged steps folded into shadow episodes
+	shadowDropped atomic.Int64 // shadows abandoned (limit or malformed response)
+
+	migrations     atomic.Int64 // live migrations completed
+	migrateFailed  atomic.Int64
+	failovers      atomic.Int64 // shadow-episode failover landings completed
+	failoverFailed atomic.Int64
+	nodeDeaths     atomic.Int64 // death declarations (threshold crossings)
+	lost           atomic.Int64 // sessions terminally lost (owner died, no usable shadow)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	rt.m.render(w, rt.Status())
+}
+
+func (m *routerMetrics) render(w io.Writer, st ClusterStatus) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP oicd_router_sessions gauge of router-owned sessions\n# TYPE oicd_router_sessions gauge\noicd_router_sessions %d\n", st.Sessions)
+	fmt.Fprintf(w, "# HELP oicd_router_fleets gauge of router-owned fleets\n# TYPE oicd_router_fleets gauge\noicd_router_fleets %d\n", st.Fleets)
+	counter("oicd_router_proxied_total", "node round trips completed", m.proxied.Load())
+	counter("oicd_router_proxy_errors_total", "node round trips failed at transport level", m.proxyErrors.Load())
+	counter("oicd_router_shard_down_total", "requests answered 503 shard_down", m.shardDown.Load())
+	counter("oicd_router_sessions_created_total", "sessions created through the router", m.sessionsCreated.Load())
+	counter("oicd_router_fleets_created_total", "fleets created through the router", m.fleetsCreated.Load())
+	counter("oicd_router_shadow_steps_total", "acknowledged steps folded into shadow episodes", m.shadowSteps.Load())
+	counter("oicd_router_shadow_dropped_total", "shadow episodes abandoned", m.shadowDropped.Load())
+	counter("oicd_router_migrations_total", "live migrations completed", m.migrations.Load())
+	counter("oicd_router_migrate_failed_total", "live migrations failed", m.migrateFailed.Load())
+	counter("oicd_router_failovers_total", "shadow failover landings completed", m.failovers.Load())
+	counter("oicd_router_failover_failed_total", "shadow failover landings failed", m.failoverFailed.Load())
+	counter("oicd_router_node_deaths_total", "node death declarations", m.nodeDeaths.Load())
+	counter("oicd_router_sessions_lost_total", "sessions terminally lost at failover", m.lost.Load())
+
+	fmt.Fprintf(w, "# HELP oicd_router_node_ready node readiness (1 ready, 0 not)\n# TYPE oicd_router_node_ready gauge\n")
+	for _, n := range st.Nodes {
+		v := 0
+		if n.Ready && !n.Dead {
+			v = 1
+		}
+		fmt.Fprintf(w, "oicd_router_node_ready{node=%q} %d\n", n.Name, v)
+	}
+	fmt.Fprintf(w, "# HELP oicd_router_node_owned_sessions sessions pinned to each node\n# TYPE oicd_router_node_owned_sessions gauge\n")
+	for _, n := range st.Nodes {
+		fmt.Fprintf(w, "oicd_router_node_owned_sessions{node=%q} %d\n", n.Name, n.OwnedSessions)
+	}
+}

@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"oic/pkg/oic"
+)
+
+// Live migration is the drain protocol of DESIGN.md §11 — "record, ship,
+// replay", end to end:
+//
+//  1. freeze  — POST {src}/v1/sessions/{id}/freeze quiesces the source;
+//     the returned snapshot is the state the target must reproduce.
+//  2. ship    — GET {src}/v1/sessions/{id}/trace?format=binary exports
+//     the recorded episode in the canonical binary form.
+//  3. replay  — POST {dst}/v1/sessions/resume imports it; the target
+//     replays the episode to head with bit-exact conformance checks and
+//     journals the whole imported history before acknowledging.
+//  4. verify  — the landed snapshot is compared field-by-field and
+//     bit-by-bit (states and energy via Float64bits) against the frozen
+//     source. Divergence rolls everything back: delete the landing,
+//     unfreeze the source, fail with ErrMigrateMismatch.
+//  5. repoint — the ownership row flips to the target under the entry
+//     lock (steps blocked on the lock land on the new owner), then the
+//     source copy is deleted.
+//
+// Failover reuses steps 3–5 with the router's shadow episode standing in
+// for the source export, which is what makes node death survivable
+// without shared storage.
+
+// bitsEqual compares float vectors bit-for-bit — migration verification
+// tolerates no rounding, an exact-replay guarantee, not an approximation.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyHandoff checks that the migration landing reproduced the frozen
+// source state exactly.
+func verifyHandoff(src, dst *oic.SessionInfo) error {
+	mismatch := func(field string, s, d any) error {
+		return fmt.Errorf("%w: %s: source %v, target %v", ErrMigrateMismatch, field, s, d)
+	}
+	if dst.T != src.T {
+		return mismatch("t", src.T, dst.T)
+	}
+	if dst.Skips != src.Skips {
+		return mismatch("skips", src.Skips, dst.Skips)
+	}
+	if dst.Runs != src.Runs {
+		return mismatch("runs", src.Runs, dst.Runs)
+	}
+	if dst.Forced != src.Forced {
+		return mismatch("forced", src.Forced, dst.Forced)
+	}
+	if dst.Violations != src.Violations {
+		return mismatch("violations", src.Violations, dst.Violations)
+	}
+	if dst.Level != src.Level {
+		return mismatch("level", src.Level, dst.Level)
+	}
+	if !bitsEqual(dst.X, src.X) {
+		return mismatch("x", src.X, dst.X)
+	}
+	if math.Float64bits(dst.Energy) != math.Float64bits(src.Energy) {
+		return mismatch("energy", src.Energy, dst.Energy)
+	}
+	return nil
+}
+
+// resolveTarget picks the landing node: the named one (which must be
+// ready) or the ring-preferred ready node excluding the current owner.
+func (rt *Router) resolveTarget(target string, fp string, exclude string) (*nodeState, error) {
+	if target != "" {
+		n, ok := rt.byName[target]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, target)
+		}
+		if n.Name == exclude {
+			return nil, fmt.Errorf("%w: session already on %q", ErrUnknownNode, target)
+		}
+		if !n.isReady() {
+			return nil, fmt.Errorf("%w: target %q is not ready", ErrNoShard, target)
+		}
+		return n, nil
+	}
+	return rt.place(fp, map[string]bool{exclude: true})
+}
+
+// MigrateSession live-migrates one router-owned session. With an empty
+// target the placement ring chooses. The entry lock is held end to end,
+// so concurrent steps stall briefly and then land on the new owner.
+func (rt *Router) MigrateSession(ctx context.Context, id, target string) (*MigrateReport, error) {
+	e, ok := rt.session(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: session %q", ErrNotFound, id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.lost {
+		return nil, fmt.Errorf("%w: session %q", ErrNoShadow, id)
+	}
+	dst, err := rt.resolveTarget(target, e.fp, e.node.Name)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	if !e.node.isLive() {
+		// The source is gone; this "migration" is a failover from the shadow.
+		rep, err := rt.failoverEntry(ctx, e, dst)
+		if err != nil {
+			return nil, err
+		}
+		rep.Millis = float64(time.Since(start)) / float64(time.Millisecond)
+		return rep, nil
+	}
+
+	src := e.node
+	// 1. Freeze: quiesce the source and capture the reference snapshot.
+	status, _, b, perr := rt.proxy(ctx, src, http.MethodPost, "/v1/sessions/"+e.localID+"/freeze", []byte("{}"))
+	if perr != nil {
+		// Source died under us — fall back to the shadow path.
+		rep, err := rt.failoverEntry(ctx, e, dst)
+		if err != nil {
+			return nil, err
+		}
+		rep.Millis = float64(time.Since(start)) / float64(time.Millisecond)
+		return rep, nil
+	}
+	if status != http.StatusOK {
+		rt.m.migrateFailed.Add(1)
+		return nil, fmt.Errorf("cluster: freeze on %s: %s", src.Name, nodeErr(status, b))
+	}
+	var srcInfo oic.SessionInfo
+	if err := json.Unmarshal(b, &srcInfo); err != nil {
+		rt.m.migrateFailed.Add(1)
+		return nil, fmt.Errorf("cluster: freeze on %s: malformed response", src.Name)
+	}
+
+	fail := func(err error) (*MigrateReport, error) {
+		// Abort path: the source must resume serving.
+		_, _, _, _ = rt.proxy(ctx, src, http.MethodPost, "/v1/sessions/"+e.localID+"/unfreeze", []byte("{}"))
+		rt.m.migrateFailed.Add(1)
+		return nil, err
+	}
+
+	// 2. Ship: export the frozen episode.
+	status, _, bin, perr := rt.proxy(ctx, src, http.MethodGet, "/v1/sessions/"+e.localID+"/trace?format=binary", nil)
+	if perr != nil {
+		rt.m.migrateFailed.Add(1)
+		return nil, fmt.Errorf("%w: %s died mid-export", ErrShardDown, src.Name)
+	}
+	if status != http.StatusOK {
+		return fail(fmt.Errorf("cluster: trace export on %s: %s", src.Name, nodeErr(status, bin)))
+	}
+
+	// 3. Replay: land the episode on the target.
+	dstInfo, err := rt.land(ctx, dst, bin)
+	if err != nil {
+		return fail(err)
+	}
+
+	// 4. Verify bit-exactly against the frozen source.
+	if err := verifyHandoff(&srcInfo, dstInfo); err != nil {
+		_, _, _, _ = rt.proxy(ctx, dst, http.MethodDelete, "/v1/sessions/"+dstInfo.ID, nil)
+		return fail(err)
+	}
+
+	// 5. Repoint ownership, refresh the shadow to the shipped episode,
+	// delete the source copy (best effort — a dead source's stale copy is
+	// unreachable through the router either way).
+	oldID := e.localID
+	e.node = dst
+	e.localID = dstInfo.ID
+	if tr, derr := oic.DecodeTrace(bin); derr == nil {
+		e.sh = shadowFromTrace(tr, rt.cfg.ShadowLimit)
+	}
+	_, _, _, _ = rt.proxy(ctx, src, http.MethodDelete, "/v1/sessions/"+oldID, nil)
+
+	rt.m.migrations.Add(1)
+	return &MigrateReport{
+		Session: e.id, From: src.Name, To: dst.Name,
+		Steps:  dstInfo.T,
+		Millis: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// land imports a binary episode on dst via the resume endpoint.
+func (rt *Router) land(ctx context.Context, dst *nodeState, bin []byte) (*oic.SessionInfo, error) {
+	body, _ := json.Marshal(oic.ResumeSessionRequest{TraceBin: bin})
+	status, _, b, perr := rt.proxy(ctx, dst, http.MethodPost, "/v1/sessions/resume", body)
+	if perr != nil {
+		return nil, fmt.Errorf("%w: target %s unreachable", ErrShardDown, dst.Name)
+	}
+	if status != http.StatusCreated {
+		if code := errCode(b); code == "resume_mismatch" {
+			return nil, fmt.Errorf("%w: target %s rejected replay: %s", ErrMigrateMismatch, dst.Name, nodeErr(status, b))
+		}
+		return nil, fmt.Errorf("cluster: resume on %s: %s", dst.Name, nodeErr(status, b))
+	}
+	var info oic.SessionInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		return nil, fmt.Errorf("cluster: resume on %s: malformed response", dst.Name)
+	}
+	return &info, nil
+}
+
+// failoverEntry re-homes one session from its shadow episode (entry lock
+// held by the caller). dst == nil lets placement choose among survivors.
+func (rt *Router) failoverEntry(ctx context.Context, e *sessEntry, dst *nodeState) (*MigrateReport, error) {
+	src := e.node
+	if !e.sh.usable() {
+		e.lost = true
+		rt.m.lost.Add(1)
+		rt.m.failoverFailed.Add(1)
+		return nil, fmt.Errorf("%w: session %q", ErrNoShadow, e.id)
+	}
+	if dst == nil {
+		var err error
+		if dst, err = rt.place(e.fp, map[string]bool{src.Name: true}); err != nil {
+			rt.m.failoverFailed.Add(1)
+			return nil, err
+		}
+	}
+	tr := e.sh.rec.Trace()
+	bin, err := oic.EncodeTrace(tr)
+	if err != nil {
+		rt.m.failoverFailed.Add(1)
+		return nil, fmt.Errorf("cluster: encoding shadow episode: %w", err)
+	}
+	info, err := rt.land(ctx, dst, bin)
+	if err != nil {
+		rt.m.failoverFailed.Add(1)
+		return nil, err
+	}
+	// Verify the landing against the shadow head: same length, same final
+	// state and energy, bit for bit. (The target already verified every
+	// intermediate step during replay.)
+	wantX := tr.X0
+	if n := tr.Len(); n > 0 {
+		wantX = tr.Steps[n-1].X
+	}
+	if info.T != tr.Len() || !bitsEqual(info.X, wantX) ||
+		math.Float64bits(info.Energy) != math.Float64bits(tr.Energy) {
+		_, _, _, _ = rt.proxy(ctx, dst, http.MethodDelete, "/v1/sessions/"+info.ID, nil)
+		rt.m.failoverFailed.Add(1)
+		return nil, fmt.Errorf("%w: failover landing diverged at t=%d", ErrMigrateMismatch, info.T)
+	}
+	e.node = dst
+	e.localID = info.ID
+	rt.m.failovers.Add(1)
+	return &MigrateReport{
+		Session: e.id, From: src.Name, To: dst.Name,
+		Steps: tr.Len(), Failover: true,
+	}, nil
+}
+
+// FailoverNode re-homes every session owned by a dead (or dying) node
+// onto survivors from their shadow episodes. Fleets stay pinned: they
+// recover when the node replays its own journal (their tick responses
+// carry no per-member episodes to shadow). Invoked automatically on
+// death declarations when Config.AutoFailover is set.
+func (rt *Router) FailoverNode(ctx context.Context, name string) (moved, failed int, err error) {
+	if _, ok := rt.byName[name]; !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	for _, e := range rt.ownedSessions(name) {
+		e.mu.Lock()
+		if e.lost || e.node.Name != name || e.node.isLive() {
+			// Already re-homed, lost, or the node came back — nothing to do.
+			e.mu.Unlock()
+			continue
+		}
+		if _, ferr := rt.failoverEntry(ctx, e, nil); ferr != nil {
+			failed++
+		} else {
+			moved++
+		}
+		e.mu.Unlock()
+	}
+	return moved, failed, nil
+}
+
+// ownedSessions snapshots the entries currently pointing at a node.
+func (rt *Router) ownedSessions(name string) []*sessEntry {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []*sessEntry
+	for _, e := range rt.sessions {
+		if e.nodeNameLockFree() == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// nodeNameLockFree reads the owner name without the entry lock — used
+// only to build candidate lists that are re-checked under the lock.
+func (e *sessEntry) nodeNameLockFree() string { return e.node.Name }
+
+// DrainNode live-migrates every session off a node (decommissioning).
+// Fleets are reported as skipped, not failures.
+func (rt *Router) DrainNode(ctx context.Context, name string) (*DrainReport, error) {
+	if _, ok := rt.byName[name]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	rep := &DrainReport{Node: name}
+	for _, e := range rt.ownedSessions(name) {
+		if _, err := rt.MigrateSession(ctx, e.id, ""); err != nil {
+			rep.Failed++
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", e.id, err))
+		} else {
+			rep.Migrated++
+		}
+	}
+	rt.mu.Lock()
+	for _, f := range rt.fleets {
+		if f.nodeName() == name {
+			rep.FleetsSkipped++
+		}
+	}
+	rt.mu.Unlock()
+	return rep, nil
+}
+
+// MigrateMember ships one fleet member's recorded episode from its fleet
+// to another router-owned fleet, preserving the member's fleet-local ID.
+// The target fleet must never have issued that ID — the node answers a
+// collision with resume_mismatch, surfaced here as ErrMigrateMismatch.
+func (rt *Router) MigrateMember(ctx context.Context, fleetID string, member int, targetFleetID string) error {
+	src, ok := rt.fleet(fleetID)
+	if !ok {
+		return fmt.Errorf("%w: fleet %q", ErrNotFound, fleetID)
+	}
+	dst, ok := rt.fleet(targetFleetID)
+	if !ok {
+		return fmt.Errorf("%w: fleet %q", ErrNotFound, targetFleetID)
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	if dst != src {
+		dst.mu.Lock()
+		defer dst.mu.Unlock()
+	}
+	path := fmt.Sprintf("/v1/fleets/%s/sessions/%d/trace?format=binary", src.localID, member)
+	status, _, bin, perr := rt.proxy(ctx, src.node, http.MethodGet, path, nil)
+	if perr != nil {
+		return fmt.Errorf("%w: %s", ErrShardDown, src.node.Name)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("cluster: member trace export: %s", nodeErr(status, bin))
+	}
+	body, _ := json.Marshal(oic.FleetResumeMemberRequest{Member: member, TraceBin: bin})
+	status, _, b, perr := rt.proxy(ctx, dst.node, http.MethodPost, "/v1/fleets/"+dst.localID+"/sessions/resume", body)
+	if perr != nil {
+		return fmt.Errorf("%w: %s", ErrShardDown, dst.node.Name)
+	}
+	if status != http.StatusCreated {
+		if errCode(b) == "resume_mismatch" {
+			return fmt.Errorf("%w: member %d: %s", ErrMigrateMismatch, member, nodeErr(status, b))
+		}
+		return fmt.Errorf("cluster: member resume: %s", nodeErr(status, b))
+	}
+	var info oic.FleetMemberInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		return fmt.Errorf("cluster: member resume: malformed response")
+	}
+	if info.ID != member {
+		return fmt.Errorf("%w: member landed as %d, want %d", ErrMigrateMismatch, info.ID, member)
+	}
+	// The source copy stays (frozen fleets are not implemented; the
+	// caller evicts it) — the verification contract is the target's
+	// bit-exact replay, already enforced by the resume endpoint.
+	return nil
+}
+
+// nodeErr renders a node error payload for wrapping.
+func nodeErr(status int, body []byte) string {
+	var er oic.ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return fmt.Sprintf("%d %s (%s)", status, er.Error, er.Code)
+	}
+	return fmt.Sprintf("status %d", status)
+}
+
+// errCode extracts the wire error code from a node response.
+func errCode(body []byte) string {
+	var er oic.ErrorResponse
+	_ = json.Unmarshal(body, &er)
+	return er.Code
+}

@@ -77,7 +77,7 @@ func (s *Server) writeBack(key string, eng *oic.Engine) {
 	_ = s.store.Put(key, a)
 }
 
-// BeginPreload flips the server into the preloading state (healthz 503)
+// BeginPreload flips the server into the preloading state (readyz 503)
 // and returns the closure that materializes every store entry into the
 // engine cache; run it on a background goroutine and let it flip
 // readiness back when done. Split this way so callers observe 503 from

@@ -10,19 +10,20 @@ import (
 	"oic/pkg/oic"
 )
 
-// TestHealthzPreloading pins the readiness contract: /healthz answers
-// 503 with a "preloading" marker from the moment BeginPreload returns
-// until its runner finishes, and 200 on both sides of the window — load
-// balancers hold traffic while a warm boot materializes the catalogue.
-func TestHealthzPreloading(t *testing.T) {
+// TestReadyzPreloading pins the liveness/readiness split: /readyz
+// answers 503 with a "preloading" marker from the moment BeginPreload
+// returns until its runner finishes and 200 on both sides of the window
+// — load balancers hold traffic while a warm boot materializes the
+// catalogue — while /healthz (pure liveness) stays 200 throughout.
+func TestReadyzPreloading(t *testing.T) {
 	srv, c := newTestServer(t, Config{})
 	if err := srv.OpenArtifactStore(t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 
 	var hz map[string]any
-	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusOK || hz["ok"] != true {
-		t.Fatalf("healthz before preload: %d %v", st, hz)
+	if st := c.do("GET", "/readyz", nil, &hz); st != http.StatusOK || hz["ok"] != true {
+		t.Fatalf("readyz before preload: %d %v", st, hz)
 	}
 
 	run, err := srv.BeginPreload()
@@ -32,31 +33,37 @@ func TestHealthzPreloading(t *testing.T) {
 	// Not ready from the moment BeginPreload returns — no startup window
 	// in which an LB could route to a cold cache.
 	hz = nil
-	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusServiceUnavailable {
-		t.Fatalf("healthz during preload: status %d, want 503", st)
+	if st := c.do("GET", "/readyz", nil, &hz); st != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during preload: status %d, want 503", st)
 	}
 	if hz["ok"] != false || hz["preloading"] != true {
-		t.Fatalf("healthz during preload: %v", hz)
+		t.Fatalf("readyz during preload: %v", hz)
+	}
+	// Liveness is orthogonal: the process is up, so /healthz stays 200
+	// even while readiness gates traffic.
+	hz = nil
+	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusOK || hz["ok"] != true || hz["preloading"] != true {
+		t.Fatalf("healthz during preload: %d %v, want 200 ok with preloading marker", st, hz)
 	}
 
 	if n, err := run(); err != nil || n != 0 {
 		t.Fatalf("preload of empty store = (%d, %v), want (0, nil)", n, err)
 	}
 	hz = nil
-	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusOK || hz["ok"] != true {
-		t.Fatalf("healthz after preload: %d %v", st, hz)
+	if st := c.do("GET", "/readyz", nil, &hz); st != http.StatusOK || hz["ok"] != true {
+		t.Fatalf("readyz after preload: %d %v", st, hz)
 	}
 }
 
-// TestHealthzPreloadWithoutStore: BeginPreload without a store is a
+// TestReadyzPreloadWithoutStore: BeginPreload without a store is a
 // configuration error and must not wedge readiness.
-func TestHealthzPreloadWithoutStore(t *testing.T) {
+func TestReadyzPreloadWithoutStore(t *testing.T) {
 	srv, c := newTestServer(t, Config{})
 	if _, err := srv.BeginPreload(); err == nil {
 		t.Fatal("BeginPreload without a store succeeded")
 	}
-	if st := c.do("GET", "/healthz", nil, nil); st != http.StatusOK {
-		t.Fatalf("healthz after failed BeginPreload: status %d", st)
+	if st := c.do("GET", "/readyz", nil, nil); st != http.StatusOK {
+		t.Fatalf("readyz after failed BeginPreload: status %d", st)
 	}
 }
 

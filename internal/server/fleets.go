@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"oic/pkg/oic"
 )
@@ -37,7 +38,31 @@ type fleetEntry struct {
 	id  string
 	f   *oic.Fleet
 	eng *oic.Engine
+	// published is the stats snapshot of the last *completed* operation
+	// (create, tick, admit, evict). /metrics scrapes read it lock-free:
+	// calling Stats() at scrape time would block on the fleet mutex for
+	// the whole duration of an in-flight tick, and concurrent ticks across
+	// fleets would interleave mid-operation cuts into one scrape.
+	published atomic.Pointer[oic.FleetStats]
 	touchable
+}
+
+// publishStats stores a fresh consistent stats snapshot for scrapes.
+// Call after any operation that moved the fleet's counters.
+func (fe *fleetEntry) publishStats() oic.FleetStats {
+	st := fe.f.Stats()
+	fe.published.Store(&st)
+	return st
+}
+
+// snapshotStats returns the last published snapshot without touching the
+// fleet mutex (falling back to a live read only before the first publish,
+// which create always performs).
+func (fe *fleetEntry) snapshotStats() oic.FleetStats {
+	if p := fe.published.Load(); p != nil {
+		return *p
+	}
+	return fe.f.Stats()
 }
 
 func validateFleetCreate(req *oic.CreateFleetRequest) error {
@@ -113,6 +138,8 @@ func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
 		MaxSessions:   req.MaxSessions,
 		Degrade:       req.Degrade,
 		TickDeadline:  req.TickDeadline,
+		Trace:         req.Trace,
+		TraceLimit:    s.cfg.TraceLimit,
 	})
 	if err != nil {
 		s.fail(w, err)
@@ -158,10 +185,12 @@ func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, s.fleetInfo(fe))
 }
 
-// fleetInfo assembles the wire snapshot of a fleet entry. The S_k chain
-// was compiled at fleet creation, so MaxSkipBudget never errors here.
+// fleetInfo assembles the wire snapshot of a fleet entry, republishing
+// the scrape snapshot as a side effect (it computed fresh stats anyway).
+// The S_k chain was compiled at fleet creation, so MaxSkipBudget never
+// errors here.
 func (s *Server) fleetInfo(fe *fleetEntry) oic.FleetInfo {
-	info := oic.FleetInfo{ID: fe.id, FleetStats: fe.f.Stats()}
+	info := oic.FleetInfo{ID: fe.id, FleetStats: fe.publishStats()}
 	info.MaxSkipBudget, _ = fe.eng.MaxSkipBudget()
 	return info
 }
@@ -238,6 +267,7 @@ func (s *Server) handleFleetTick(w http.ResponseWriter, r *http.Request) {
 				// error and its status, mirroring the batched-step
 				// convention.
 				s.journalSyncRequest()
+				fe.publishStats()
 				resp.Error = err.Error()
 				writeJSON(w, statusForStepErr(err), resp)
 				return
@@ -256,6 +286,7 @@ func (s *Server) handleFleetTick(w http.ResponseWriter, r *http.Request) {
 	// One fsync per tick request amortizes durability over every member's
 	// step (SyncEveryTick); it lands before the ticks are acknowledged.
 	s.journalSyncRequest()
+	fe.publishStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -291,6 +322,7 @@ func (s *Server) handleFleetAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.journalAdmit(fe.id, id, fe.eng.NX(), x0)
 	s.journalSyncRequest()
+	fe.publishStats()
 	info, err := fe.f.Member(id)
 	if err != nil {
 		s.fail(w, err)
@@ -350,6 +382,7 @@ func (s *Server) handleFleetMemberDelete(w http.ResponseWriter, r *http.Request)
 	}
 	s.journalEvict(fe.id, mid)
 	s.journalSyncRequest()
+	fe.publishStats()
 	writeJSON(w, http.StatusOK, info)
 }
 

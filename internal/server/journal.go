@@ -18,7 +18,7 @@ import (
 // back into live state: engines are rebuilt from the journaled config
 // fingerprints (warm via the artifact store), every open session and fleet
 // member is replayed to its head with bit-exact conformance checking
-// (oic.ResumeSession / Fleet.ResumeMember), and /healthz holds 503 until
+// (oic.ResumeSession / Fleet.ResumeMember), and /readyz holds 503 until
 // the server again serves exactly what it had acknowledged.
 //
 // Journal append failures degrade durability, never availability: they are
@@ -27,7 +27,7 @@ import (
 // sessions survive restarts by design.
 
 // errRecovering gates mutating creation endpoints while replay-to-head
-// runs; clients retry after /healthz flips ready.
+// runs; clients retry after /readyz flips ready.
 var errRecovering = errors.New("recovering sessions from journal; retry shortly")
 
 // OpenJournal attaches a write-ahead journal. Call before serving traffic
@@ -110,6 +110,52 @@ func (s *Server) hookSession(id string, eng *oic.Engine, sess *oic.Session) {
 			W: ev.W, U: ev.U, X: ev.X,
 		})
 	})
+}
+
+// journalImportSession journals a migrated-in session: the open record
+// plus one step record per replayed prefix step, then the live hook. The
+// source node's journal holds this history too, but it is unreachable
+// from here (and may be destroyed) — an import is durable only if the
+// whole episode lands in *this* node's journal before acknowledgment.
+func (s *Server) journalImportSession(id string, eng *oic.Engine, sess *oic.Session, t *oic.Trace) {
+	if s.jw == nil {
+		return
+	}
+	nx, nu := eng.NX(), eng.NU()
+	s.journalAppend(&journal.Record{
+		Type: journal.TypeOpen, ID: id, Meta: eng.TraceMeta(),
+		NX: nx, NU: nu, X0: t.X0,
+	})
+	for i := range t.Steps {
+		st := &t.Steps[i]
+		s.journalAppend(&journal.Record{
+			Type: journal.TypeStep, ID: id, NX: nx, NU: nu,
+			Ran: st.Ran, Forced: st.Forced, Level: st.Level,
+			W: st.W, U: st.U, X: st.X,
+		})
+	}
+	s.hookSession(id, eng, sess)
+}
+
+// journalImportMember journals a migrated-in fleet member: the admit
+// record under its preserved ID plus its replayed prefix. The member
+// step hook is already installed fleet-wide.
+func (s *Server) journalImportMember(fleetID string, member int, eng *oic.Engine, t *oic.Trace) {
+	if s.jw == nil {
+		return
+	}
+	nx, nu := eng.NX(), eng.NU()
+	s.journalAppend(&journal.Record{
+		Type: journal.TypeFleetAdmit, ID: fleetID, Member: uint32(member), NX: nx, X0: t.X0,
+	})
+	for i := range t.Steps {
+		st := &t.Steps[i]
+		s.journalAppend(&journal.Record{
+			Type: journal.TypeFleetStep, ID: fleetID, Member: uint32(member), NX: nx, NU: nu,
+			Ran: st.Ran, Forced: st.Forced, Level: st.Level,
+			W: st.W, U: st.U, X: st.X,
+		})
+	}
 }
 
 // journalCloseSession records a client delete or TTL eviction (never a
@@ -195,7 +241,7 @@ type RecoveryReport struct {
 }
 
 // BeginJournalRecovery flips the server into the recovering state
-// (healthz 503, creation endpoints 503) and returns the closure that
+// (readyz 503, creation endpoints 503) and returns the closure that
 // replays the journal at dir to its head; run it on a background
 // goroutine and let it flip readiness back when done. Split this way —
 // mirroring BeginPreload — so callers observe 503 from the moment the
@@ -274,7 +320,7 @@ func (s *Server) resumeSession(st *journal.SessionState) bool {
 	if err != nil {
 		return false
 	}
-	sess, err := eng.ResumeSession(t, oic.ResumeOptions{Trace: true, TraceLimit: maxTraceSteps})
+	sess, err := eng.ResumeSession(t, oic.ResumeOptions{Trace: true, TraceLimit: s.cfg.TraceLimit})
 	if err != nil {
 		return false
 	}
@@ -311,7 +357,7 @@ func (s *Server) resumeFleet(fs *journal.FleetState, rep *RecoveryReport) {
 	}
 	f, err := eng.NewFleet(oic.FleetConfig{
 		ComputeBudget: fs.Budget, Workers: fs.Workers, MaxSessions: fs.MaxSessions,
-		Trace: true, TraceLimit: maxTraceSteps,
+		Trace: true, TraceLimit: s.cfg.TraceLimit,
 	})
 	if err != nil {
 		rep.Failed++

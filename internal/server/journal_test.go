@@ -83,9 +83,9 @@ func TestRequestTimeoutDeadline503(t *testing.T) {
 	}
 }
 
-// TestRecoveryGatesTraffic verifies the recovering state: /healthz 503
+// TestRecoveryGatesTraffic verifies the recovering state: /readyz 503
 // {"recovering":true} and creation endpoints 503 "recovering" until the
-// replay closure completes.
+// replay closure completes, while /healthz (liveness) stays 200.
 func TestRecoveryGatesTraffic(t *testing.T) {
 	dir := t.TempDir()
 	srv, c := journalServer(t, dir, Config{}, journal.SyncEveryTick)
@@ -98,8 +98,11 @@ func TestRecoveryGatesTraffic(t *testing.T) {
 		OK         bool `json:"ok"`
 		Recovering bool `json:"recovering"`
 	}
-	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusServiceUnavailable || !hz.Recovering {
-		t.Fatalf("healthz while recovering: status %d, body %+v", st, hz)
+	if st := c.do("GET", "/readyz", nil, &hz); st != http.StatusServiceUnavailable || !hz.Recovering {
+		t.Fatalf("readyz while recovering: status %d, body %+v", st, hz)
+	}
+	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusOK || !hz.OK || !hz.Recovering {
+		t.Fatalf("healthz while recovering: status %d, body %+v, want live with recovering marker", st, hz)
 	}
 	var e oic.ErrorResponse
 	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc"}, &e); st != http.StatusServiceUnavailable || e.Code != "recovering" {
@@ -112,8 +115,8 @@ func TestRecoveryGatesTraffic(t *testing.T) {
 	if _, err := run(); err != nil {
 		t.Fatal(err)
 	}
-	if st := c.do("GET", "/healthz", nil, &hz); st != http.StatusOK || !hz.OK {
-		t.Fatalf("healthz after recovery: status %d, body %+v", st, hz)
+	if st := c.do("GET", "/readyz", nil, &hz); st != http.StatusOK || !hz.OK {
+		t.Fatalf("readyz after recovery: status %d, body %+v", st, hz)
 	}
 	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc"}, nil); st != http.StatusCreated {
 		t.Fatalf("create after recovery: status %d", st)

@@ -47,6 +47,11 @@ type metrics struct {
 	fleetOverrun   atomic.Int64
 	fleetDegraded  atomic.Int64 // computes shed by fault/deadline degradation
 
+	sessionsFrozen   atomic.Int64 // freeze handoffs requested (migration drains)
+	sessionsResumed  atomic.Int64 // sessions imported via POST /v1/sessions/resume
+	membersResumed   atomic.Int64 // fleet members imported via the member resume endpoint
+	resumeMismatches atomic.Int64 // imports rejected because the episode did not replay bit-exactly
+
 	journalErrors    atomic.Int64 // journal appends/syncs that failed (durability degraded, requests unaffected)
 	journalTornTails atomic.Int64 // segments truncated at a torn tail by the last recovery
 	journalOrphans   atomic.Int64 // records referencing unknown ids in the last recovery
@@ -138,6 +143,11 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 	// Seconds-sum + count: avg tick latency = sum/oicd_fleet_ticks_total.
 	fmt.Fprintf(w, "# HELP oicd_fleet_tick_seconds_sum total wall time inside fleet ticks\n# TYPE oicd_fleet_tick_seconds_sum counter\noicd_fleet_tick_seconds_sum %g\n",
 		float64(m.fleetTickNanos.Load())/1e9)
+
+	counter("oicd_sessions_frozen_total", "sessions frozen for migration handoff", m.sessionsFrozen.Load())
+	counter("oicd_sessions_resumed_total", "sessions imported from exported episodes (migration/failover landings)", m.sessionsResumed.Load())
+	counter("oicd_members_resumed_total", "fleet members imported from exported episodes", m.membersResumed.Load())
+	counter("oicd_resume_mismatch_total", "episode imports rejected by bit-exact replay verification", m.resumeMismatches.Load())
 
 	counter("oicd_journal_appends_total", "write-ahead journal records appended", js.Appends)
 	counter("oicd_journal_syncs_total", "write-ahead journal fsyncs issued", js.Syncs)

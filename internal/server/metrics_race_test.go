@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"oic/pkg/oic"
+)
+
+// TestMetricsScrapeRace pins the fix for the per-fleet gauge snapshot
+// race: /metrics scrapes read each fleet's last *published* stats
+// snapshot (an atomic pointer swapped after every completed operation)
+// instead of calling into the fleet under its tick mutex — so a scrape
+// never blocks on an in-flight tick and never observes a half-updated
+// cut. Two fleets tick concurrently while a scraper hammers /metrics;
+// under -race this fails loudly if any snapshot path races.
+func TestMetricsScrapeRace(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+
+	var ids [2]string
+	for i := range ids {
+		var info oic.FleetInfo
+		st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+			Plant: "acc", ComputeBudget: 4, Size: 12, Seed: int64(100 + i),
+		}, &info)
+		if st != http.StatusCreated {
+			t.Fatalf("fleet %d create: status %d", i, st)
+		}
+		ids[i] = info.ID
+	}
+
+	scrape := func() string {
+		req, _ := http.NewRequest("GET", c.base+"/metrics", nil)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			t.Error(err)
+			return ""
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return string(body)
+	}
+
+	const ticksPerFleet = 30
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for range ticksPerFleet {
+				var resp oic.FleetTickResponse
+				if st := c.do("POST", "/v1/fleets/"+id+"/tick", oic.FleetTickRequest{}, &resp); st != http.StatusOK {
+					t.Errorf("tick %s: status %d", id, st)
+					return
+				}
+			}
+		}(id)
+	}
+	stop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := scrape()
+			if body == "" {
+				return
+			}
+			if !strings.Contains(body, "oicd_fleets_active 2") {
+				t.Errorf("scrape %d missing fleet gauge:\n%s", i, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-scrapeDone
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The published snapshots converge once ticking stops: both fleets
+	// report their full membership in the final scrape.
+	body := scrape()
+	for _, id := range ids {
+		if !strings.Contains(body, fmt.Sprintf("oicd_fleet_sessions{fleet=%q} 12", id)) {
+			t.Errorf("final scrape missing %s membership gauge:\n%s", id, body)
+		}
+	}
+}

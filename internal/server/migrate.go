@@ -1,0 +1,237 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"oic/pkg/oic"
+)
+
+// Migration endpoints: the node-side half of the cluster drain protocol
+// (DESIGN.md §11). A live migration is "record, ship, replay": the router
+// freezes the source session, exports its recorded episode
+// (GET /v1/sessions/{id}/trace?format=binary), imports it on the target
+// via the resume endpoint below — which replays it to head with the same
+// bit-exact conformance check journal recovery uses — and repoints
+// ownership once the successor state verifies.
+//
+//	POST /v1/sessions/{id}/freeze          quiesce for handoff (steps 409 frozen)
+//	POST /v1/sessions/{id}/unfreeze        abort the handoff, resume stepping
+//	POST /v1/sessions/resume               import an exported episode as a live session
+//	POST /v1/fleets/{id}/sessions/resume   import one member episode under its old ID
+//	GET  /v1/fleets/{id}/sessions/{mid}/trace  export one member episode
+
+// handleSessionFreeze quiesces a session for migration. The returned
+// snapshot is the state the migration target must reproduce bit-for-bit;
+// reads (GET, trace export) keep serving while frozen, so the episode
+// copy cannot race a step.
+func (s *Server) handleSessionFreeze(w http.ResponseWriter, r *http.Request) {
+	se, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		s.fail(w, errNotFound)
+		return
+	}
+	s.touch(se)
+	info, err := se.s.Freeze()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.m.sessionsFrozen.Add(1)
+	info.ID = se.id
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleSessionUnfreeze is the abort path of a handoff: the migration
+// failed verification (or the operator changed their mind), so the
+// source resumes serving.
+func (s *Server) handleSessionUnfreeze(w http.ResponseWriter, r *http.Request) {
+	se, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		s.fail(w, errNotFound)
+		return
+	}
+	s.touch(se)
+	if err := se.s.Unfreeze(); err != nil {
+		s.fail(w, err)
+		return
+	}
+	info := se.s.Info()
+	info.ID = se.id
+	writeJSON(w, http.StatusOK, info)
+}
+
+// resolveResumeTrace extracts, decodes, and validates the episode of a
+// resume request, enforcing the same cost caps as session creation (the
+// import may build the trace's engine).
+func (s *Server) resolveResumeTrace(tr *oic.Trace, bin []byte) (*oic.Trace, error) {
+	if (tr == nil) == (len(bin) == 0) {
+		return nil, badRequest(`set exactly one of "trace" or "trace_bin"`)
+	}
+	if tr == nil {
+		var err error
+		if tr, err = oic.DecodeTrace(bin); err != nil {
+			return nil, badRequest("invalid binary trace: " + err.Error())
+		}
+	} else if err := tr.Validate(); err != nil {
+		return nil, badRequest(err.Error())
+	}
+	if tr.Len() > s.cfg.TraceLimit {
+		return nil, badRequest(fmt.Sprintf("trace has %d steps, limit %d", tr.Len(), s.cfg.TraceLimit))
+	}
+	cfg := oic.ConfigFromTrace(tr)
+	sessReq := oic.CreateSessionRequest{
+		Plant: cfg.Plant, Scenario: cfg.Scenario, Policy: cfg.Policy,
+		Memory: cfg.Memory, Train: cfg.Train,
+	}
+	if err := validateCreate(&sessReq); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// handleSessionResume imports an exported episode as a live session: the
+// landing half of live migration and node failover. The engine comes
+// from the trace's fingerprint through the per-configuration cache, the
+// episode is replayed to head with bit-exact verification (any
+// divergence is 409 resume_mismatch and nothing is registered), and the
+// whole imported history is journaled before the response — so a crash
+// right after a migration lands recovers the migrated session too.
+func (s *Server) handleSessionResume(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		s.fail(w, errRecovering)
+		return
+	}
+	var req oic.ResumeSessionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	tr, err := s.resolveResumeTrace(req.Trace, req.TraceBin)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	eng, err := s.engine(oic.ConfigFromTrace(tr))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	sess, err := eng.ResumeSession(tr, oic.ResumeOptions{Trace: true, TraceLimit: s.cfg.TraceLimit})
+	if err != nil {
+		s.m.resumeMismatches.Add(1)
+		s.fail(w, err)
+		return
+	}
+	se := &session{s: sess}
+	s.touch(se)
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		sess.Close()
+		s.fail(w, errCapacity)
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("s-%d", s.nextID)
+	se.id = id
+	s.sessions[id] = se
+	s.mu.Unlock()
+	s.m.sessionsResumed.Add(1)
+	// Write-ahead: the open record AND the imported prefix land in this
+	// node's journal before the import is acknowledged — the source node's
+	// journal is not reachable from here (it may be dead).
+	s.journalImportSession(id, eng, sess, tr)
+	s.journalSyncRequest()
+
+	info := sess.Info()
+	info.ID = id
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleFleetMemberTrace exports one member's recorded episode, the
+// fleet-side analogue of GET /v1/sessions/{id}/trace. 409 not_tracing
+// unless the fleet was created with "trace": true.
+func (s *Server) handleFleetMemberTrace(w http.ResponseWriter, r *http.Request) {
+	fe, ok := s.lookupFleet(r.PathValue("id"))
+	if !ok {
+		s.fail(w, errNotFound)
+		return
+	}
+	mid, err := s.fleetMemberID(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.touch(fe)
+	tr, err := fe.f.MemberTrace(mid)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		s.m.tracesServed.Add(1)
+		writeJSON(w, http.StatusOK, oic.TraceResponse{ID: fmt.Sprintf("%s/%d", fe.id, mid), Trace: tr})
+	case "binary":
+		b, err := oic.EncodeTrace(tr)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		s.m.tracesServed.Add(1)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", fmt.Sprint(len(b)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(b)
+	default:
+		s.fail(w, badRequest(fmt.Sprintf("unknown trace format %q (json|binary)", format)))
+	}
+}
+
+// handleFleetMemberResume imports one exported member episode under its
+// original fleet-local ID. The fleet refuses IDs it has already issued
+// (live, evicted, or reserved) with 409 resume_mismatch — identity
+// preservation is what makes member migration auditable, so a collision
+// is a loud failure, never a silent renumber.
+func (s *Server) handleFleetMemberResume(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		s.fail(w, errRecovering)
+		return
+	}
+	fe, ok := s.lookupFleet(r.PathValue("id"))
+	if !ok {
+		s.fail(w, errNotFound)
+		return
+	}
+	var req oic.FleetResumeMemberRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Member < 0 {
+		s.fail(w, badRequest("member id must be ≥ 0"))
+		return
+	}
+	tr, err := s.resolveResumeTrace(req.Trace, req.TraceBin)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.touch(fe)
+	if err := fe.f.ResumeMember(req.Member, tr); err != nil {
+		s.m.resumeMismatches.Add(1)
+		s.fail(w, err)
+		return
+	}
+	s.m.membersResumed.Add(1)
+	s.journalImportMember(fe.id, req.Member, fe.eng, tr)
+	s.journalSyncRequest()
+	fe.publishStats()
+	info, err := fe.f.Member(req.Member)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"testing"
+
+	"oic/pkg/oic"
+)
+
+// TestFreezeHandoff pins the node-side half of the drain protocol:
+// freeze quiesces stepping (409 frozen) while reads and the trace export
+// keep serving; unfreeze resumes exactly where the session stopped.
+func TestFreezeHandoff(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", Seed: 3, Trace: true}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	for range 5 {
+		if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", nil, nil); st != http.StatusOK {
+			t.Fatalf("step: status %d", st)
+		}
+	}
+
+	var frozen oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/freeze", nil, &frozen); st != http.StatusOK {
+		t.Fatalf("freeze: status %d", st)
+	}
+	if !frozen.Frozen || frozen.T != 5 || frozen.ID != info.ID {
+		t.Fatalf("frozen snapshot: %+v", frozen)
+	}
+	var er oic.ErrorResponse
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", nil, &er); st != http.StatusConflict || er.Code != "frozen" {
+		t.Fatalf("step while frozen: status %d code %q, want 409 frozen", st, er.Code)
+	}
+	// Reads keep serving while frozen — the migration copies through them.
+	var got oic.SessionInfo
+	if st := c.do("GET", "/v1/sessions/"+info.ID, nil, &got); st != http.StatusOK || !got.Frozen {
+		t.Fatalf("get while frozen: status %d, %+v", st, got)
+	}
+	var tr oic.TraceResponse
+	if st := c.do("GET", "/v1/sessions/"+info.ID+"/trace", nil, &tr); st != http.StatusOK || tr.Trace.Len() != 5 {
+		t.Fatalf("trace while frozen: status %d", st)
+	}
+	// Freeze is idempotent (a retried drain must not error)...
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/freeze", nil, nil); st != http.StatusOK {
+		t.Fatalf("re-freeze: status %d", st)
+	}
+	// ...and unfreeze is the abort path: stepping resumes. (Fresh struct:
+	// "frozen" is omitempty, so decoding over the old one would keep it.)
+	var thawed oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/unfreeze", nil, &thawed); st != http.StatusOK || thawed.Frozen {
+		t.Fatalf("unfreeze: status %d, %+v", st, thawed)
+	}
+	var res oic.StepResult
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", nil, &res); st != http.StatusOK || res.T != 5 {
+		t.Fatalf("step after unfreeze: status %d, %+v", st, res)
+	}
+}
+
+// TestSessionResumeEndpoint: a clean import lands bit-exactly under a
+// fresh ID; a tampered episode is rejected with 409 resume_mismatch and
+// registers nothing.
+func TestSessionResumeEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", Seed: 11, Trace: true}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	for range 12 {
+		if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", nil, nil); st != http.StatusOK {
+			t.Fatalf("step: status %d", st)
+		}
+	}
+	var src oic.SessionInfo
+	if st := c.do("GET", "/v1/sessions/"+info.ID, nil, &src); st != http.StatusOK {
+		t.Fatalf("get: status %d", st)
+	}
+	var tr oic.TraceResponse
+	if st := c.do("GET", "/v1/sessions/"+info.ID+"/trace", nil, &tr); st != http.StatusOK {
+		t.Fatalf("trace: status %d", st)
+	}
+
+	var landed oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions/resume", oic.ResumeSessionRequest{Trace: tr.Trace}, &landed); st != http.StatusCreated {
+		t.Fatalf("resume: status %d", st)
+	}
+	if landed.ID == info.ID || landed.T != src.T {
+		t.Fatalf("landed: %+v, source %+v", landed, src)
+	}
+	for i := range src.X {
+		if math.Float64bits(landed.X[i]) != math.Float64bits(src.X[i]) {
+			t.Fatalf("landed X[%d] = %x, source %x", i, landed.X[i], src.X[i])
+		}
+	}
+	if math.Float64bits(landed.Energy) != math.Float64bits(src.Energy) {
+		t.Fatalf("landed energy %x, source %x", landed.Energy, src.Energy)
+	}
+
+	// Tamper with one recorded input: the replay diverges, the import is
+	// refused with the typed code, and no session is registered.
+	tampered := *tr.Trace
+	tampered.Steps = append([]oic.TraceStep(nil), tr.Trace.Steps...)
+	s6 := tampered.Steps[6]
+	s6.X = append([]float64(nil), s6.X...)
+	s6.X[0] += 1e-9
+	tampered.Steps[6] = s6
+	var er oic.ErrorResponse
+	if st := c.do("POST", "/v1/sessions/resume", oic.ResumeSessionRequest{Trace: &tampered}, &er); st != http.StatusConflict || er.Code != "resume_mismatch" {
+		t.Fatalf("tampered resume: status %d code %q, want 409 resume_mismatch", st, er.Code)
+	}
+
+	// Exactly-one-of is enforced.
+	if st := c.do("POST", "/v1/sessions/resume", oic.ResumeSessionRequest{}, &er); st != http.StatusBadRequest {
+		t.Fatalf("empty resume: status %d", st)
+	}
+}
+
+// TestMemberTraceAndResume covers the fleet-side export/import pair,
+// including the not-tracing guard.
+func TestMemberTraceAndResume(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	var fl oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+		Plant: "acc", ComputeBudget: 4, Size: 2, Seed: 7, Trace: true,
+	}, &fl); st != http.StatusCreated {
+		t.Fatalf("fleet create: status %d", st)
+	}
+	if st := c.do("POST", "/v1/fleets/"+fl.ID+"/tick", oic.FleetTickRequest{Ticks: 4}, nil); st != http.StatusOK {
+		t.Fatalf("tick: status %d", st)
+	}
+	var tr oic.TraceResponse
+	if st := c.do("GET", "/v1/fleets/"+fl.ID+"/sessions/1/trace", nil, &tr); st != http.StatusOK || tr.Trace.Len() != 4 {
+		t.Fatalf("member trace: status %d", st)
+	}
+
+	// Import into a second, tracing-enabled empty fleet under the same ID.
+	var fl2 oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+		Plant: "acc", ComputeBudget: 4, Trace: true,
+	}, &fl2); st != http.StatusCreated {
+		t.Fatalf("fleet2 create: status %d", st)
+	}
+	var member oic.FleetMemberInfo
+	if st := c.do("POST", "/v1/fleets/"+fl2.ID+"/sessions/resume", oic.FleetResumeMemberRequest{
+		Member: 1, Trace: tr.Trace,
+	}, &member); st != http.StatusCreated || member.ID != 1 || member.T != 4 {
+		t.Fatalf("member resume: status %d, %+v", st, member)
+	}
+
+	// An untraced fleet cannot export members — migration needs the
+	// episode, so the error is loud.
+	var fl3 oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+		Plant: "acc", ComputeBudget: 4, Size: 1, Seed: 8,
+	}, &fl3); st != http.StatusCreated {
+		t.Fatalf("fleet3 create: status %d", st)
+	}
+	var er oic.ErrorResponse
+	if st := c.do("GET", "/v1/fleets/"+fl3.ID+"/sessions/0/trace", nil, &er); st != http.StatusConflict {
+		t.Fatalf("untraced member trace: status %d, want 409 (%+v)", st, er)
+	}
+}

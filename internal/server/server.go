@@ -8,7 +8,8 @@
 //	POST   /v1/sessions/{id}/step advance: {"w": [...]} or {"ws": [[...], ...]}
 //	DELETE /v1/sessions/{id}      close the session, recycle its workspace
 //	GET    /v1/plants             plant + scenario catalogue
-//	GET    /healthz               liveness + basic stats
+//	GET    /healthz               liveness + basic stats (always 200 while serving)
+//	GET    /readyz                readiness (503 while preloading or recovering)
 //	GET    /metrics               Prometheus text format
 //
 // Artifact sharing: engines (safety sets, compiled LP, trained policy)
@@ -55,6 +56,10 @@ type Config struct {
 	// distinct from 499, which is reserved for the client going away.
 	// ≤ 0 disables (the http.Server read/write timeouts still apply).
 	RequestTimeout time.Duration
+	// TraceLimit caps a traced or imported session's episode length; past
+	// it, steps fail with 409 trace_limit instead of growing server memory
+	// without bound. ≤ 0 means the default (maxTraceSteps, 100k).
+	TraceLimit int
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -71,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFleets <= 0 {
 		c.MaxFleets = 16
+	}
+	if c.TraceLimit <= 0 {
+		c.TraceLimit = maxTraceSteps
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -115,13 +123,13 @@ type Server struct {
 	m metrics
 
 	// store is the optional on-disk artifact catalogue (OpenArtifactStore);
-	// nil means every engine is built in-process. preloading gates /healthz
+	// nil means every engine is built in-process. preloading gates /readyz
 	// readiness while BeginPreload materializes the catalogue.
 	store      *oic.ArtifactStore
 	preloading atomic.Bool
 
 	// jw is the optional write-ahead journal (OpenJournal); recovering
-	// gates /healthz and the creation endpoints while BeginJournalRecovery
+	// gates /readyz and the creation endpoints while BeginJournalRecovery
 	// replays a previous journal to head.
 	jw         *journal.Writer
 	jopts      journal.Options
@@ -150,12 +158,16 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/plants", s.handlePlants)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("POST /v1/sessions/resume", s.handleSessionResume)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
 	mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleSessionTrace)
+	mux.HandleFunc("POST /v1/sessions/{id}/freeze", s.handleSessionFreeze)
+	mux.HandleFunc("POST /v1/sessions/{id}/unfreeze", s.handleSessionUnfreeze)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/replay", s.handleReplay)
 	mux.HandleFunc("POST /v1/fleets", s.handleFleetCreate)
@@ -163,7 +175,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/fleets/{id}", s.handleFleetDelete)
 	mux.HandleFunc("POST /v1/fleets/{id}/tick", s.handleFleetTick)
 	mux.HandleFunc("POST /v1/fleets/{id}/sessions", s.handleFleetAdmit)
+	mux.HandleFunc("POST /v1/fleets/{id}/sessions/resume", s.handleFleetMemberResume)
 	mux.HandleFunc("GET /v1/fleets/{id}/sessions/{mid}", s.handleFleetMemberGet)
+	mux.HandleFunc("GET /v1/fleets/{id}/sessions/{mid}/trace", s.handleFleetMemberTrace)
 	mux.HandleFunc("DELETE /v1/fleets/{id}/sessions/{mid}", s.handleFleetMemberDelete)
 	if s.cfg.RequestTimeout > 0 {
 		return s.withRequestTimeout(mux)
@@ -219,6 +233,15 @@ func (s *Server) StartJanitor() {
 
 // Close shuts the server down in durability order: flush and close the
 // journal first (the caller has already drained HTTP, so every
+// SessionCount reports the number of live sessions — an observability
+// hook for cluster tests and operators (the /metrics gauge is the
+// scrape-path equivalent).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
 // acknowledged step is in the buffer and must reach disk), then stop the
 // TTL janitor, then release every live session and fleet WITHOUT writing
 // close records — a shutdown is not a close, and the journal's open
@@ -368,44 +391,57 @@ func (s *Server) lookup(id string) (*session, bool) {
 
 // ---- handlers ----
 
+// handleHealthz is pure liveness: a 200 means the process is up and
+// serving HTTP, nothing more. Cluster supervisors key kill decisions on
+// this — a node that is preloading or recovering is *alive* and must not
+// be restarted, so those states appear in the body but never change the
+// status. Route traffic on /readyz instead.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	live := len(s.sessions)
 	engines := len(s.engines)
 	fleets := len(s.fleets)
 	s.mu.Unlock()
-	// Readiness: while -preload is still materializing the artifact
-	// catalogue, report 503 so load balancers hold traffic until every
-	// preloaded engine serves without an in-request build.
-	if s.preloading.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"ok":         false,
-			"preloading": true,
-			"sessions":   live,
-			"engines":    engines,
-			"fleets":     fleets,
-		})
-		return
-	}
-	// While journal recovery replays to head, hold traffic the same way:
-	// the server must not serve until it again holds exactly the state it
-	// had acknowledged before the crash.
-	if s.recovering.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"ok":         false,
-			"recovering": true,
-			"sessions":   live,
-			"engines":    engines,
-			"fleets":     fleets,
-		})
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"preloading": s.preloading.Load(),
+		"recovering": s.recovering.Load(),
+		"sessions":   live,
+		"engines":    engines,
+		"fleets":     fleets,
+	})
+}
+
+// handleReadyz is readiness: 503 while the server cannot yet serve
+// correct answers — during -preload (the artifact catalogue is still
+// materializing) and during journal recovery (the server must not serve
+// until it again holds exactly the state it had acknowledged before the
+// crash). Load balancers and the oicd-router hold traffic on 503 here
+// without concluding the node is dead.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	live := len(s.sessions)
+	engines := len(s.engines)
+	fleets := len(s.fleets)
+	s.mu.Unlock()
+	body := map[string]any{
 		"ok":       true,
 		"sessions": live,
 		"engines":  engines,
 		"fleets":   fleets,
-	})
+	}
+	switch {
+	case s.preloading.Load():
+		body["ok"] = false
+		body["preloading"] = true
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case s.recovering.Load():
+		body["ok"] = false
+		body["recovering"] = true
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		writeJSON(w, http.StatusOK, body)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -417,12 +453,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		entries = append(entries, fe)
 	}
 	s.mu.Unlock()
-	// Snapshot fleet stats outside the server lock (Stats takes each
-	// fleet's own mutex) and in stable ID order for a diffable scrape.
+	// Serve each fleet's last *published* stats snapshot (stored by the
+	// operation that completed it) rather than calling Stats() here: a
+	// scrape-time Stats() would block on a fleet mutex held for the whole
+	// duration of an in-flight tick, and two concurrently ticking fleets
+	// would interleave mid-tick cuts into one scrape. The published
+	// snapshots are lock-free to read and each is internally consistent.
+	// Stable ID order keeps the scrape diffable.
 	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
 	gauges := make([]fleetGauge, len(entries))
 	for i, fe := range entries {
-		gauges[i] = fleetGauge{id: fe.id, stats: fe.f.Stats()}
+		gauges[i] = fleetGauge{id: fe.id, stats: fe.snapshotStats()}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.m.render(w, live, engines, gauges, s.ArtifactStats(), s.JournalStats())
@@ -480,7 +521,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Trace {
 		// The session is fresh (t = 0), so StartTrace cannot be late; the
 		// cap keeps a hostile client from growing a recording unboundedly.
-		if err := sess.StartTrace(maxTraceSteps); err != nil {
+		if err := sess.StartTrace(s.cfg.TraceLimit); err != nil {
 			sess.Close()
 			s.fail(w, err)
 			return
@@ -656,7 +697,7 @@ func statusAndCode(err error) (int, string) {
 		return http.StatusGone, "fleet_closed"
 	case errors.Is(err, errRecovering):
 		// Journal recovery is replaying to head; the client should retry
-		// once /healthz flips ready.
+		// once /readyz flips ready.
 		return http.StatusServiceUnavailable, "recovering"
 	case errors.Is(err, context.Canceled):
 		// Client went away mid-step: not a server error. 499 is nginx's
@@ -668,6 +709,14 @@ func statusAndCode(err error) (int, string) {
 		return http.StatusServiceUnavailable, "deadline"
 	case errors.Is(err, oic.ErrSessionClosed):
 		return http.StatusGone, "session_closed"
+	case errors.Is(err, oic.ErrSessionFrozen):
+		// A migration handoff is in flight; the step may be retried — the
+		// router repoints ownership once the target verifies.
+		return http.StatusConflict, "frozen"
+	case errors.Is(err, oic.ErrResumeMismatch):
+		// The imported episode did not replay bit-for-bit; the session
+		// must not serve.
+		return http.StatusConflict, "resume_mismatch"
 	case errors.Is(err, oic.ErrNotTracing):
 		return http.StatusConflict, "not_tracing"
 	case errors.Is(err, oic.ErrTraceLimit):

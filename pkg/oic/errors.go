@@ -61,4 +61,8 @@ var (
 	// the recorded episode bit-for-bit — the journal and the rebuilt engine
 	// disagree, so the recovered session must not serve.
 	ErrResumeMismatch = errors.New("oic: resume replay diverged from recorded episode")
+	// ErrSessionFrozen: the session is frozen for a migration handoff and
+	// refuses steps until Unfreeze (migration aborted) or Close (migration
+	// committed on another node).
+	ErrSessionFrozen = errors.New("oic: session frozen for migration")
 )

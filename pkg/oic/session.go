@@ -24,6 +24,7 @@ type Session struct {
 	cs     *core.Session
 	rec    *trace.Recorder // episode recording; nil unless StartTrace was called
 	hook   func(StepEvent) // write-ahead journaling hook; nil unless SetStepHook
+	frozen bool            // migration handoff in progress; steps refuse
 	closed bool
 	final  SessionInfo // snapshot served after Close (the workspace is recycled)
 }
@@ -52,6 +53,9 @@ func (s *Session) Step(ctx context.Context, w []float64) (StepResult, error) {
 func (s *Session) stepLocked(ctx context.Context, w []float64) (StepResult, error) {
 	if s.closed {
 		return StepResult{}, ErrSessionClosed
+	}
+	if s.frozen {
+		return StepResult{}, ErrSessionFrozen
 	}
 	if w == nil {
 		w = s.eng.zeroW
@@ -148,6 +152,8 @@ func (s *Session) infoLocked() SessionInfo {
 		Plant:      s.eng.PlantName(),
 		Scenario:   s.eng.ScenarioID(),
 		Policy:     s.eng.PolicyName(),
+		Memory:     s.eng.memory,
+		NU:         s.eng.NU(),
 		T:          s.cs.Time(),
 		X:          append([]float64(nil), x...),
 		Level:      s.eng.fw.Monitor().Level(x).String(),
@@ -157,8 +163,45 @@ func (s *Session) infoLocked() SessionInfo {
 		Violations: res.ViolationsX,
 		Degraded:   res.Degraded,
 		Energy:     res.Energy,
+		Frozen:     s.frozen,
 		Closed:     s.cs.Closed(),
 	}
+}
+
+// Freeze suspends stepping for a migration handoff: further Steps return
+// ErrSessionFrozen while reads (Info, Trace, State) keep serving, so a
+// drain protocol can export a quiescent episode with no step racing the
+// copy. It returns the frozen snapshot — the state the migration target
+// must reproduce bit-for-bit. Freeze is idempotent; ErrSessionClosed
+// after Close.
+func (s *Session) Freeze() (SessionInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SessionInfo{}, ErrSessionClosed
+	}
+	s.frozen = true
+	return s.infoLocked(), nil
+}
+
+// Unfreeze aborts a migration handoff and resumes stepping. It is the
+// rollback path of Freeze: a no-op unless frozen, ErrSessionClosed after
+// Close.
+func (s *Session) Unfreeze() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.frozen = false
+	return nil
+}
+
+// Frozen reports whether the session is frozen for migration.
+func (s *Session) Frozen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frozen
 }
 
 // Close terminates the session and returns its workspace to the engine's

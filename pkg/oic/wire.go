@@ -70,12 +70,18 @@ type StepResponse struct {
 	Results []StepResult `json:"results"`
 }
 
-// SessionInfo is a session snapshot: create/GET responses.
+// SessionInfo is a session snapshot: create/GET responses. Scenario,
+// Policy, and Memory are the resolved values (never the default
+// shorthands) and NU the plant's input dimension, so a front end holding
+// only wire responses can reconstruct the session's exact trace
+// fingerprint — what the oicd-router's shadow recording relies on.
 type SessionInfo struct {
 	ID         string    `json:"id,omitempty"` // assigned by the server
 	Plant      string    `json:"plant"`
 	Scenario   string    `json:"scenario"`
 	Policy     string    `json:"policy"`
+	Memory     int       `json:"memory,omitempty"` // resolved disturbance-memory window
+	NU         int       `json:"nu,omitempty"`     // input dimension (NX is len(X))
 	T          int       `json:"t"`
 	X          []float64 `json:"x"`
 	Level      string    `json:"level"`
@@ -85,6 +91,7 @@ type SessionInfo struct {
 	Violations int       `json:"violations"`
 	Degraded   int       `json:"degraded,omitempty"` // κ failures downgraded to certified skips
 	Energy     float64   `json:"energy"`
+	Frozen     bool      `json:"frozen,omitempty"` // migration handoff in progress; steps 409
 	Closed     bool      `json:"closed"`
 }
 
@@ -113,6 +120,12 @@ type CreateFleetRequest struct {
 	// recovery.
 	Degrade      bool          `json:"degrade,omitempty"`
 	TickDeadline time.Duration `json:"tick_deadline_ns,omitempty"`
+
+	// Trace records every member's episode (FleetConfig.Trace, capped at
+	// the server's trace limit), read back via
+	// GET /v1/fleets/{id}/sessions/{mid}/trace — the export side of
+	// fleet-member migration.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // FleetInfo is a fleet snapshot: create/GET/DELETE responses.
@@ -167,6 +180,29 @@ type ReplayRequest struct {
 	ComputeBudget int    `json:"compute_budget,omitempty"`
 	Audit         bool   `json:"audit,omitempty"`
 	IncludeTrace  bool   `json:"include_trace,omitempty"`
+}
+
+// ResumeSessionRequest imports a recorded episode as a live session:
+// POST /v1/sessions/resume. Exactly one of Trace (JSON form) or TraceBin
+// (canonical binary, base64 on the wire) carries the episode; the server
+// rebuilds the engine from the trace's fingerprint, replays the episode
+// to head with bit-exact verification (409 resume_mismatch on any
+// divergence), and registers the session under a fresh ID — the landing
+// half of live migration and node failover.
+type ResumeSessionRequest struct {
+	Trace    *Trace `json:"trace,omitempty"`
+	TraceBin []byte `json:"trace_bin,omitempty"`
+}
+
+// FleetResumeMemberRequest imports a recorded member episode into a
+// fleet: POST /v1/fleets/{id}/sessions/resume. Member is the fleet-local
+// ID the member must keep (migration preserves identity); the fleet
+// rejects IDs it has already issued with 409 resume_mismatch. The trace
+// fields mirror ResumeSessionRequest.
+type FleetResumeMemberRequest struct {
+	Member   int    `json:"member"`
+	Trace    *Trace `json:"trace,omitempty"`
+	TraceBin []byte `json:"trace_bin,omitempty"`
 }
 
 // ErrorResponse is the uniform error payload of the oicd server.
