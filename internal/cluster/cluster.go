@@ -99,11 +99,11 @@ var (
 
 // NodeStatus is one node's row in a cluster status snapshot.
 type NodeStatus struct {
-	Name string `json:"name"`
-	Addr string `json:"addr"`
-	Live bool   `json:"live"`  // /healthz answers 200
-	Ready bool  `json:"ready"` // /readyz answers 200
-	Dead bool   `json:"dead,omitempty"` // liveness failed DeathThreshold consecutive probes
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+	Live  bool   `json:"live"`           // /healthz answers 200
+	Ready bool   `json:"ready"`          // /readyz answers 200
+	Dead  bool   `json:"dead,omitempty"` // liveness failed DeathThreshold consecutive probes
 
 	// Load signals scraped from the node's Prometheus gauges.
 	Sessions       int     `json:"sessions"`        // oicd_sessions_active
@@ -119,8 +119,8 @@ type NodeStatus struct {
 // ClusterStatus is the GET /v1/cluster payload.
 type ClusterStatus struct {
 	Nodes    []NodeStatus `json:"nodes"`
-	Sessions int          `json:"sessions"` // router-owned sessions
-	Fleets   int          `json:"fleets"`   // router-owned fleets
+	Sessions int          `json:"sessions"`       // router-owned sessions
+	Fleets   int          `json:"fleets"`         // router-owned fleets
 	Lost     int          `json:"lost,omitempty"` // sessions lost (no shadow at failover)
 }
 
@@ -137,9 +137,9 @@ type MigrateReport struct {
 	Session  string  `json:"session"`
 	From     string  `json:"from"`
 	To       string  `json:"to"`
-	Steps    int     `json:"steps"`    // episode length shipped and replayed
+	Steps    int     `json:"steps"`              // episode length shipped and replayed
 	Failover bool    `json:"failover,omitempty"` // source unreachable; shadow episode used
-	Millis   float64 `json:"ms"`       // end-to-end migration latency
+	Millis   float64 `json:"ms"`                 // end-to-end migration latency
 }
 
 // DrainRequest asks the router to migrate every session off a node:

@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"oic/internal/server"
 	"oic/pkg/oic"
@@ -537,7 +539,7 @@ func TestPlacementDeterministic(t *testing.T) {
 	// Distribution sanity across many keys: no node starves.
 	counts = map[string]int{}
 	for i := 0; i < 300; i++ {
-		counts[r.order(fps[0]+string(rune('a'+i%26))+string(rune('a'+i/26)))[0]]++
+		counts[r.order(fps[0] + string(rune('a'+i%26)) + string(rune('a'+i/26)))[0]]++
 	}
 	for _, n := range names {
 		if counts[n] == 0 {
@@ -610,5 +612,159 @@ oicd_fleet_reclaimed_ratio{fleet="f-2"} 0.7
 	s, f, p, rec := parseLoadGauges(body)
 	if s != 42 || f != 2 || p != 1.5 || rec != 0.6000000000000001 && rec != 0.6 {
 		t.Fatalf("parseLoadGauges = %d %d %g %g", s, f, p, rec)
+	}
+}
+
+// TestStatusRacesDeletes pins the Status()/delete lock-order fix: Status
+// used to take each entry lock while holding rt.mu, while the delete
+// handlers take the entry lock first and rt.mu second — a GET
+// /v1/cluster racing a DELETE could deadlock the router. Run with -race
+// this also checks the lock-free owner reads.
+func TestStatusRacesDeletes(t *testing.T) {
+	rt, _ := testCluster(t, 2, server.Config{}, Config{})
+	h := rt.Handler()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				c := &rc{t: t, h: h}
+				var info oic.SessionInfo
+				if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc", Seed: int64(i)}, &info); st != http.StatusCreated {
+					return
+				}
+				c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{}, nil)
+				c.do("DELETE", "/v1/sessions/"+info.ID, nil, nil)
+				var fi oic.FleetInfo
+				if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{Plant: "acc", ComputeBudget: 4, Size: 1, Seed: int64(i)}, &fi); st != http.StatusCreated {
+					return
+				}
+				c.do("DELETE", "/v1/fleets/"+fi.ID, nil, nil)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				_ = rt.Status()
+			}
+		}()
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Status/delete race deadlocked")
+	}
+}
+
+// TestClientCancelIsNotNodeFailure pins the liveness-accounting fix: a
+// client disconnecting mid-request surfaces as a context-canceled proxy
+// error, which must NOT count toward the owner node's death threshold —
+// previously DeathThreshold aborts between probes declared a healthy
+// node dead and fired failover against a node still serving.
+func TestClientCancelIsNotNodeFailure(t *testing.T) {
+	rt, nodes := testCluster(t, 1, server.Config{}, Config{DeathThreshold: 2})
+	c := &rc{t: t, h: rt.Handler()}
+
+	var info oic.SessionInfo
+	if st := c.do("POST", "/v1/sessions", oic.CreateSessionRequest{Plant: "acc"}, &info); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+
+	// Hammer the step path with pre-canceled client contexts, well past
+	// the death threshold.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 5; i++ {
+		body, _ := json.Marshal(oic.StepRequest{})
+		req := httptest.NewRequest("POST", "/v1/sessions/"+info.ID+"/step", bytes.NewReader(body)).WithContext(ctx)
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("canceled step %d: status %d, want 503", i, w.Code)
+		}
+	}
+	n := rt.byName[nodes[0].name]
+	if !n.isReady() {
+		t.Fatal("client cancellations marked a healthy node not-ready")
+	}
+	n.mu.Lock()
+	dead, fails := n.dead, n.consecFails
+	n.mu.Unlock()
+	if dead || fails != 0 {
+		t.Fatalf("client cancellations fed liveness accounting: dead=%v consecFails=%d", dead, fails)
+	}
+
+	// The node keeps serving.
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/step", oic.StepRequest{}, nil); st != http.StatusOK {
+		t.Fatalf("step after cancels: status %d", st)
+	}
+
+	// And a successful round trip clears an accumulated failure streak.
+	n.mu.Lock()
+	n.consecFails = 1
+	n.mu.Unlock()
+	if st := c.do("GET", "/v1/sessions/"+info.ID, nil, nil); st != http.StatusOK {
+		t.Fatalf("get: status %d", st)
+	}
+	n.mu.Lock()
+	fails = n.consecFails
+	n.mu.Unlock()
+	if fails != 0 {
+		t.Fatalf("successful round trip did not reset consecFails: %d", fails)
+	}
+}
+
+// TestMigrateMemberOppositeDirections pins the fleet-pair lock-order
+// fix: A→B and B→A member migrations used to lock src then dst and
+// could deadlock; with deterministic ordering both complete (here with
+// typed collisions — both fleets have issued ID 0).
+func TestMigrateMemberOppositeDirections(t *testing.T) {
+	rt, _ := testCluster(t, 2, server.Config{}, Config{})
+	c := &rc{t: t, h: rt.Handler()}
+
+	mkFleet := func(seed int64) string {
+		var info oic.FleetInfo
+		if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+			Plant: "acc", ComputeBudget: 4, Size: 1, Seed: seed,
+		}, &info); st != http.StatusCreated {
+			t.Fatalf("fleet create: status %d", st)
+		}
+		if st := c.do("POST", "/v1/fleets/"+info.ID+"/tick", oic.FleetTickRequest{Ticks: 2}, nil); st != http.StatusOK {
+			t.Fatalf("tick: status %d", st)
+		}
+		return info.ID
+	}
+	f1, f2 := mkFleet(1), mkFleet(2)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				if err := rt.MigrateMember(context.Background(), f1, 0, f2); !errors.Is(err, ErrMigrateMismatch) {
+					t.Errorf("f1→f2: %v, want ErrMigrateMismatch", err)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				if err := rt.MigrateMember(context.Background(), f2, 0, f1); !errors.Is(err, ErrMigrateMismatch) {
+					t.Errorf("f2→f1: %v, want ErrMigrateMismatch", err)
+				}
+			}()
+			wg.Wait()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("opposite-direction member migrations deadlocked")
 	}
 }

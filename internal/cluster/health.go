@@ -130,7 +130,11 @@ func (rt *Router) probeNode(ctx context.Context, n *nodeState) {
 
 // noteTransportError folds a proxy-path connection failure into the same
 // liveness accounting as the prober, so a hammered dead node is detected
-// at request rate instead of probe rate.
+// at request rate instead of probe rate. Callers must exclude failures
+// caused by the inbound request's own context cancellation (proxy does) —
+// those are client exits, and counting them would let a flurry of client
+// disconnects mark a healthy node dead and fire failover against a node
+// that is still serving.
 func (rt *Router) noteTransportError(n *nodeState) {
 	n.mu.Lock()
 	n.live = false
@@ -148,6 +152,17 @@ func (rt *Router) noteTransportError(n *nodeState) {
 			go rt.FailoverNode(context.Background(), n.Name)
 		}
 	}
+}
+
+// noteTransportOK resets the consecutive-failure streak after any
+// successful proxied round trip: a node answering requests is alive,
+// however the probes in between fared. Liveness/readiness flags stay the
+// prober's to restore — this only stops sporadic transport blips from
+// accumulating toward a death declaration.
+func (rt *Router) noteTransportOK(n *nodeState) {
+	n.mu.Lock()
+	n.consecFails = 0
+	n.mu.Unlock()
 }
 
 func (rt *Router) probeOK(ctx context.Context, n *nodeState, path string) bool {

@@ -112,13 +112,14 @@ func (rt *Router) MigrateSession(ctx context.Context, id, target string) (*Migra
 	if e.lost {
 		return nil, fmt.Errorf("%w: session %q", ErrNoShadow, id)
 	}
-	dst, err := rt.resolveTarget(target, e.fp, e.node.Name)
+	src := e.node.Load()
+	dst, err := rt.resolveTarget(target, e.fp, src.Name)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
 
-	if !e.node.isLive() {
+	if !src.isLive() {
 		// The source is gone; this "migration" is a failover from the shadow.
 		rep, err := rt.failoverEntry(ctx, e, dst)
 		if err != nil {
@@ -127,8 +128,6 @@ func (rt *Router) MigrateSession(ctx context.Context, id, target string) (*Migra
 		rep.Millis = float64(time.Since(start)) / float64(time.Millisecond)
 		return rep, nil
 	}
-
-	src := e.node
 	// 1. Freeze: quiesce the source and capture the reference snapshot.
 	status, _, b, perr := rt.proxy(ctx, src, http.MethodPost, "/v1/sessions/"+e.localID+"/freeze", []byte("{}"))
 	if perr != nil {
@@ -183,7 +182,7 @@ func (rt *Router) MigrateSession(ctx context.Context, id, target string) (*Migra
 	// delete the source copy (best effort — a dead source's stale copy is
 	// unreachable through the router either way).
 	oldID := e.localID
-	e.node = dst
+	e.node.Store(dst)
 	e.localID = dstInfo.ID
 	if tr, derr := oic.DecodeTrace(bin); derr == nil {
 		e.sh = shadowFromTrace(tr, rt.cfg.ShadowLimit)
@@ -221,7 +220,7 @@ func (rt *Router) land(ctx context.Context, dst *nodeState, bin []byte) (*oic.Se
 // failoverEntry re-homes one session from its shadow episode (entry lock
 // held by the caller). dst == nil lets placement choose among survivors.
 func (rt *Router) failoverEntry(ctx context.Context, e *sessEntry, dst *nodeState) (*MigrateReport, error) {
-	src := e.node
+	src := e.node.Load()
 	if !e.sh.usable() {
 		e.lost = true
 		rt.m.lost.Add(1)
@@ -259,7 +258,7 @@ func (rt *Router) failoverEntry(ctx context.Context, e *sessEntry, dst *nodeStat
 		rt.m.failoverFailed.Add(1)
 		return nil, fmt.Errorf("%w: failover landing diverged at t=%d", ErrMigrateMismatch, info.T)
 	}
-	e.node = dst
+	e.node.Store(dst)
 	e.localID = info.ID
 	rt.m.failovers.Add(1)
 	return &MigrateReport{
@@ -279,7 +278,7 @@ func (rt *Router) FailoverNode(ctx context.Context, name string) (moved, failed 
 	}
 	for _, e := range rt.ownedSessions(name) {
 		e.mu.Lock()
-		if e.lost || e.node.Name != name || e.node.isLive() {
+		if owner := e.node.Load(); e.lost || owner.Name != name || owner.isLive() {
 			// Already re-homed, lost, or the node came back — nothing to do.
 			e.mu.Unlock()
 			continue
@@ -294,22 +293,21 @@ func (rt *Router) FailoverNode(ctx context.Context, name string) (moved, failed 
 	return moved, failed, nil
 }
 
-// ownedSessions snapshots the entries currently pointing at a node.
+// ownedSessions snapshots the entries currently pointing at a node. The
+// owner reads are atomic loads, not entry-lock acquisitions (which would
+// invert the delete handlers' lock order); candidates are re-checked
+// under the entry lock before any action.
 func (rt *Router) ownedSessions(name string) []*sessEntry {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	var out []*sessEntry
 	for _, e := range rt.sessions {
-		if e.nodeNameLockFree() == name {
+		if e.nodeName() == name {
 			out = append(out, e)
 		}
 	}
 	return out
 }
-
-// nodeNameLockFree reads the owner name without the entry lock — used
-// only to build candidate lists that are re-checked under the lock.
-func (e *sessEntry) nodeNameLockFree() string { return e.node.Name }
 
 // DrainNode live-migrates every session off a node (decommissioning).
 // Fleets are reported as skipped, not failures.
@@ -349,24 +347,33 @@ func (rt *Router) MigrateMember(ctx context.Context, fleetID string, member int,
 	if !ok {
 		return fmt.Errorf("%w: fleet %q", ErrNotFound, targetFleetID)
 	}
-	src.mu.Lock()
-	defer src.mu.Unlock()
-	if dst != src {
-		dst.mu.Lock()
-		defer dst.mu.Unlock()
+	// Lock the two pins in deterministic (public-id) order regardless of
+	// src/dst role, so opposite-direction migrations between the same pair
+	// cannot deadlock.
+	first, second := src, dst
+	if second.id < first.id {
+		first, second = second, first
 	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	if second != first {
+		second.mu.Lock()
+		defer second.mu.Unlock()
+	}
+	srcNode := src.node.Load()
 	path := fmt.Sprintf("/v1/fleets/%s/sessions/%d/trace?format=binary", src.localID, member)
-	status, _, bin, perr := rt.proxy(ctx, src.node, http.MethodGet, path, nil)
+	status, _, bin, perr := rt.proxy(ctx, srcNode, http.MethodGet, path, nil)
 	if perr != nil {
-		return fmt.Errorf("%w: %s", ErrShardDown, src.node.Name)
+		return fmt.Errorf("%w: %s", ErrShardDown, srcNode.Name)
 	}
 	if status != http.StatusOK {
 		return fmt.Errorf("cluster: member trace export: %s", nodeErr(status, bin))
 	}
+	dstNode := dst.node.Load()
 	body, _ := json.Marshal(oic.FleetResumeMemberRequest{Member: member, TraceBin: bin})
-	status, _, b, perr := rt.proxy(ctx, dst.node, http.MethodPost, "/v1/fleets/"+dst.localID+"/sessions/resume", body)
+	status, _, b, perr := rt.proxy(ctx, dstNode, http.MethodPost, "/v1/fleets/"+dst.localID+"/sessions/resume", body)
 	if perr != nil {
-		return fmt.Errorf("%w: %s", ErrShardDown, dst.node.Name)
+		return fmt.Errorf("%w: %s", ErrShardDown, dstNode.Name)
 	}
 	if status != http.StatusCreated {
 		if errCode(b) == "resume_mismatch" {

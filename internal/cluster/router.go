@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oic/pkg/oic"
@@ -59,14 +60,17 @@ func (c Config) withDefaults() Config {
 // sessEntry is one row of the router's session ownership table. The
 // entry mutex serializes proxied operations against migration: a step
 // that races a drain blocks until ownership is repointed, then lands on
-// the new owner.
+// the new owner. The owner pointer is additionally atomic so status and
+// candidate scans can read it without the entry lock — taking entry
+// locks while holding rt.mu would invert the lock order of the delete
+// handlers (entry lock, then rt.mu) and deadlock.
 type sessEntry struct {
 	id string // public ID ("c-N")
 
 	mu      sync.Mutex
-	node    *nodeState // current owner
-	localID string     // the owner's node-local ID ("s-N")
-	fp      string     // canonical config fingerprint (placement key)
+	node    atomic.Pointer[nodeState] // current owner; written under mu
+	localID string                    // the owner's node-local ID ("s-N")
+	fp      string                    // canonical config fingerprint (placement key)
 	train   oic.TrainConfig
 	sh      *shadow
 	lost    bool // owner died without a usable shadow; terminally gone
@@ -81,8 +85,8 @@ type fleetPin struct {
 	id string // public ID ("cf-N")
 
 	mu      sync.Mutex
-	node    *nodeState
-	localID string // "f-N" on the owner
+	node    atomic.Pointer[nodeState] // written under mu; atomic for lock-free scans
+	localID string                    // "f-N" on the owner
 	fp      string
 }
 
@@ -178,7 +182,11 @@ func (rt *Router) leastLoaded() (*nodeState, error) {
 
 // proxy performs one node round trip. A transport-level failure feeds
 // the node's liveness accounting and returns a non-nil error; HTTP-level
-// failures are returned as (status, body) for the caller to relay.
+// failures are returned as (status, body) for the caller to relay. A
+// failure whose request context is already canceled is the CLIENT's
+// exit (disconnect or timeout mid-step), not evidence about the node,
+// so it is excluded from liveness accounting; a successful round trip
+// is positive evidence and clears the failure streak.
 func (rt *Router) proxy(ctx context.Context, n *nodeState, method, pathAndQuery string, body []byte) (int, string, []byte, error) {
 	var rd io.Reader
 	if body != nil {
@@ -194,17 +202,22 @@ func (rt *Router) proxy(ctx context.Context, n *nodeState, method, pathAndQuery 
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		rt.m.proxyErrors.Add(1)
-		rt.noteTransportError(n)
+		if ctx.Err() == nil {
+			rt.noteTransportError(n)
+		}
 		return 0, "", nil, err
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		rt.m.proxyErrors.Add(1)
-		rt.noteTransportError(n)
+		if ctx.Err() == nil {
+			rt.noteTransportError(n)
+		}
 		return 0, "", nil, err
 	}
 	rt.m.proxied.Add(1)
+	rt.noteTransportOK(n)
 	return resp.StatusCode, resp.Header.Get("Content-Type"), b, nil
 }
 
@@ -385,7 +398,8 @@ func (rt *Router) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadGateway, "bad_gateway", "node returned malformed session info")
 		return
 	}
-	e := &sessEntry{node: n, localID: info.ID, fp: fp, train: canon.Train}
+	e := &sessEntry{localID: info.ID, fp: fp, train: canon.Train}
+	e.node.Store(n)
 	e.sh = newShadow(&info, canon.Train, rt.cfg.ShadowLimit)
 	rt.mu.Lock()
 	rt.nextSess++
@@ -425,9 +439,10 @@ func (rt *Router) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusGone, "session_lost", "session lost: owner died with no usable shadow episode")
 		return
 	}
-	status, ctype, b, err := rt.proxy(r.Context(), e.node, http.MethodGet, "/v1/sessions/"+e.localID, nil)
+	owner := e.node.Load()
+	status, ctype, b, err := rt.proxy(r.Context(), owner, http.MethodGet, "/v1/sessions/"+e.localID, nil)
 	if err != nil {
-		rt.shardDown(w, e.node)
+		rt.shardDown(w, owner)
 		return
 	}
 	if status == http.StatusOK {
@@ -468,13 +483,14 @@ func (rt *Router) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusGone, "session_lost", "session lost: owner died with no usable shadow episode")
 		return
 	}
-	status, ctype, b, perr := rt.proxy(r.Context(), e.node, http.MethodPost, "/v1/sessions/"+e.localID+"/step", body)
+	owner := e.node.Load()
+	status, ctype, b, perr := rt.proxy(r.Context(), owner, http.MethodPost, "/v1/sessions/"+e.localID+"/step", body)
 	if perr != nil {
 		// The step may or may not have executed on the dying node — but it
 		// was never acknowledged, so it is not in the shadow, and a failover
 		// landing resumes from the last acknowledged step. The client's
 		// retry therefore lands exactly once.
-		rt.shardDown(w, e.node)
+		rt.shardDown(w, owner)
 		return
 	}
 	rt.recordStep(e, &req, status, b)
@@ -546,9 +562,10 @@ func (rt *Router) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.RawQuery; q != "" {
 		path += "?" + q
 	}
-	status, ctype, b, err := rt.proxy(r.Context(), e.node, http.MethodGet, path, nil)
+	owner := e.node.Load()
+	status, ctype, b, err := rt.proxy(r.Context(), owner, http.MethodGet, path, nil)
 	if err != nil {
-		rt.shardDown(w, e.node)
+		rt.shardDown(w, owner)
 		return
 	}
 	if status == http.StatusOK && strings.Contains(ctype, "json") {
@@ -582,9 +599,10 @@ func (rt *Router) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusGone, "session_lost", "session lost: owner died with no usable shadow episode")
 		return
 	}
-	status, ctype, b, err := rt.proxy(r.Context(), e.node, http.MethodDelete, "/v1/sessions/"+e.localID, nil)
+	owner := e.node.Load()
+	status, ctype, b, err := rt.proxy(r.Context(), owner, http.MethodDelete, "/v1/sessions/"+e.localID, nil)
 	if err != nil {
-		rt.shardDown(w, e.node)
+		rt.shardDown(w, owner)
 		return
 	}
 	if status == http.StatusOK {
@@ -639,7 +657,8 @@ func (rt *Router) handleCreateFleet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadGateway, "bad_gateway", "node returned malformed fleet info")
 		return
 	}
-	f := &fleetPin{node: n, localID: info.ID, fp: fp}
+	f := &fleetPin{localID: info.ID, fp: fp}
+	f.node.Store(n)
 	rt.mu.Lock()
 	rt.nextFleet++
 	f.id = fmt.Sprintf("cf-%d", rt.nextFleet)
@@ -684,9 +703,10 @@ func (rt *Router) handleFleetProxy(w http.ResponseWriter, r *http.Request) {
 	if len(body) > 0 {
 		fwd = body
 	}
-	status, ctype, b, perr := rt.proxy(r.Context(), f.node, r.Method, path, fwd)
+	owner := f.node.Load()
+	status, ctype, b, perr := rt.proxy(r.Context(), owner, r.Method, path, fwd)
 	if perr != nil {
-		rt.shardDown(w, f.node)
+		rt.shardDown(w, owner)
 		return
 	}
 	rt.rewriteFleetID(w, f, status, ctype, b)
@@ -726,9 +746,10 @@ func (rt *Router) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Lock()
 	delete(rt.fleets, id)
 	rt.mu.Unlock()
-	status, ctype, b, err := rt.proxy(r.Context(), f.node, http.MethodDelete, "/v1/fleets/"+f.localID, nil)
+	owner := f.node.Load()
+	status, ctype, b, err := rt.proxy(r.Context(), owner, http.MethodDelete, "/v1/fleets/"+f.localID, nil)
 	if err != nil {
-		rt.shardDown(w, f.node)
+		rt.shardDown(w, owner)
 		return
 	}
 	rt.rewriteFleetID(w, f, status, ctype, b)
@@ -744,8 +765,9 @@ func (rt *Router) Status() ClusterStatus {
 	fleets := len(rt.fleets)
 	for _, e := range rt.sessions {
 		// Peeking e.node without the entry lock is fine for a status count:
-		// repointing is atomic (pointer write under the entry lock) and a
-		// snapshot mid-migration is correct for one of the two moments.
+		// repointing is an atomic pointer store, so a snapshot mid-migration
+		// is correct for one of the two moments. Taking the entry lock here
+		// would invert the delete handlers' entry-then-rt.mu lock order.
 		ownedS[e.nodeName()]++
 	}
 	for _, f := range rt.fleets {
@@ -763,17 +785,12 @@ func (rt *Router) Status() ClusterStatus {
 	return st
 }
 
-func (e *sessEntry) nodeName() string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.node.Name
-}
+// nodeName reads the current owner's name: an atomic load, safe with or
+// without the entry lock (a mid-migration read sees one of the two
+// owners, both correct for that instant).
+func (e *sessEntry) nodeName() string { return e.node.Load().Name }
 
-func (f *fleetPin) nodeName() string {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.node.Name
-}
+func (f *fleetPin) nodeName() string { return f.node.Load().Name }
 
 func (rt *Router) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, rt.Status())

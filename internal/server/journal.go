@@ -326,6 +326,12 @@ func (s *Server) resumeSession(st *journal.SessionState) bool {
 	}
 	se := &session{id: st.ID, s: sess}
 	s.touch(se)
+	// Hook before publishing: once the id is in s.sessions it is
+	// steppable, and a step landing before the hook is installed would be
+	// acknowledged without being journaled. (The open record already lives
+	// in the journal being recovered; a hook on a session we then discard
+	// never fires.)
+	s.hookSession(st.ID, eng, sess)
 	s.mu.Lock()
 	_, exists := s.sessions[st.ID]
 	full := len(s.sessions) >= s.cfg.MaxSessions
@@ -337,7 +343,6 @@ func (s *Server) resumeSession(st *journal.SessionState) bool {
 		sess.Close()
 		return false
 	}
-	s.hookSession(st.ID, eng, sess)
 	return true
 }
 

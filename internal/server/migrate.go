@@ -123,6 +123,16 @@ func (s *Server) handleSessionResume(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	// Publish frozen: the id is steppable the moment it lands in
+	// s.sessions, but the imported prefix is not journaled yet — a step
+	// acknowledged in that window would be lost by a crash. Frozen, such a
+	// step is refused (409, never executed, never acknowledged) until the
+	// write-ahead records below are in place.
+	if _, err := sess.Freeze(); err != nil {
+		sess.Close()
+		s.fail(w, err)
+		return
+	}
 	se := &session{s: sess}
 	s.touch(se)
 	s.mu.Lock()
@@ -143,6 +153,10 @@ func (s *Server) handleSessionResume(w http.ResponseWriter, r *http.Request) {
 	// journal is not reachable from here (it may be dead).
 	s.journalImportSession(id, eng, sess, tr)
 	s.journalSyncRequest()
+	if err := sess.Unfreeze(); err != nil {
+		s.fail(w, err)
+		return
+	}
 
 	info := sess.Info()
 	info.ID = id

@@ -231,8 +231,6 @@ func (s *Server) StartJanitor() {
 	}()
 }
 
-// Close shuts the server down in durability order: flush and close the
-// journal first (the caller has already drained HTTP, so every
 // SessionCount reports the number of live sessions — an observability
 // hook for cluster tests and operators (the /metrics gauge is the
 // scrape-path equivalent).
@@ -242,6 +240,8 @@ func (s *Server) SessionCount() int {
 	return len(s.sessions)
 }
 
+// Close shuts the server down in durability order: flush and close the
+// journal first (the caller has already drained HTTP, so every
 // acknowledged step is in the buffer and must reach disk), then stop the
 // TTL janitor, then release every live session and fleet WITHOUT writing
 // close records — a shutdown is not a close, and the journal's open
