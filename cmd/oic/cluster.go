@@ -5,6 +5,10 @@ package main
 //	oic cluster status                          per-node health, load, ownership
 //	oic cluster drain   -node NAME              live-migrate every session off a node
 //	oic cluster migrate -session ID [-target N] live-migrate one session
+//	oic cluster ops                             recent migration/failover/recovery spans
+//
+// ops also works against a single oicd node (-addr pointing at the node):
+// both serve GET /v1/debug/ops.
 //
 // Like every oic verb that talks to a server, the address comes from
 // -addr, defaulting to $OICD_ADDR and then http://127.0.0.1:8080.
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"oic/internal/cluster"
+	"oic/internal/obs"
 	"oic/pkg/oic"
 )
 
@@ -63,7 +68,7 @@ func doCluster(args []string) {
 	target := fs.String("target", "", "migrate: destination node (empty = placement chooses)")
 	jsonOut := fs.Bool("json", false, "emit the raw JSON response")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: oic cluster status|drain|migrate [flags]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: oic cluster status|drain|migrate|ops [flags]\n\n")
 		fs.PrintDefaults()
 	}
 	if len(args) == 0 {
@@ -150,6 +155,33 @@ func doCluster(args []string) {
 		}
 		fmt.Printf("%s %s: %s → %s, %d step(s) replayed in %.1f ms\n",
 			kind, rep.Session, rep.From, rep.To, rep.Steps, rep.Millis)
+	case "ops":
+		var out struct {
+			Spans []obs.SpanRecord `json:"spans"`
+		}
+		if err := clusterCall(client, addr, http.MethodGet, "/v1/debug/ops", nil, &out); err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			_ = json.NewEncoder(os.Stdout).Encode(out)
+			return
+		}
+		if len(out.Spans) == 0 {
+			fmt.Println("no recorded operations")
+			return
+		}
+		for _, sp := range out.Spans {
+			status := "ok"
+			if sp.Err != "" {
+				status = "FAILED: " + sp.Err
+			}
+			fmt.Printf("%s  %-10s %-12s %8.1f ms  trace %s  %s\n",
+				sp.Start.Format(time.RFC3339), sp.Op, sp.ID,
+				float64(sp.Elapsed)/float64(time.Millisecond), sp.TraceID, status)
+			for _, ph := range sp.Phases {
+				fmt.Printf("    %-10s %8.1f ms\n", ph.Name, float64(ph.Elapsed)/float64(time.Millisecond))
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "oic: unknown cluster verb %q\n", verb)
 		fs.Usage()

@@ -26,8 +26,10 @@
 //	              (-journal-dir): fold its segments and report every
 //	              session and fleet with its replay position (DESIGN.md §10)
 //	oic cluster — operate a multi-node oicd cluster through its router:
-//	              status, drain, and live migration (DESIGN.md §11); the
-//	              router address comes from -addr, then $OICD_ADDR
+//	              status, drain, live migration, and ops (recent
+//	              migration/failover/recovery spans, phase by phase;
+//	              DESIGN.md §11–§12); the router address comes from
+//	              -addr, then $OICD_ADDR
 //	oic all     — everything above except fleet, record, replay, export,
 //	              import, and journal
 //

@@ -16,25 +16,34 @@
 //	GET  /v1/cluster          status: health, load, ownership per node
 //	POST /v1/cluster/migrate  {"session": "c-1", "target": "b"}
 //	POST /v1/cluster/drain    {"node": "a"}
+//	GET  /v1/debug/ops        recent migration/failover spans, per phase
+//
+// Every request is tagged with an X-Oic-Trace-Id (minted here when the
+// client sends none) that the router forwards on all proxied node calls,
+// so one grep correlates the router's and the shard's structured logs
+// (DESIGN.md §12).
 //
 // Usage:
 //
 //	oicd-router -cluster nodes.json [-addr :8080] [-probe-interval 1s]
 //	            [-vnodes 64] [-pressure-max 1.0] [-death-threshold 3]
 //	            [-failover] [-shadow-limit 100000]
+//	            [-log-level info] [-log-format text]
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"oic/internal/cluster"
+	"oic/internal/obs"
 
 	// Register the case studies: the router canonicalizes configs (scenario
 	// resolution needs the plant registry) even though it runs no engines.
@@ -54,14 +63,27 @@ func main() {
 	shadowLimit := flag.Int("shadow-limit", 100_000, "per-session shadow episode cap (sessions beyond it cannot fail over)")
 	nodeTimeout := flag.Duration("node-timeout", 30*time.Second, "per-request timeout for node round trips")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error (debug logs every request)")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oicd-router: %v\n", err)
+		os.Exit(2)
+	}
+	log := logger.With("component", "oicd-router")
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *clusterFile == "" {
-		log.Fatalf("oicd-router: -cluster is required")
+		fatal("-cluster is required")
 	}
 	mem, err := cluster.LoadMembership(*clusterFile)
 	if err != nil {
-		log.Fatalf("oicd-router: %v", err)
+		fatal("loading membership", "file", *clusterFile, "error", err)
 	}
 	rt, err := cluster.New(mem, cluster.Config{
 		Vnodes:         *vnodes,
@@ -70,9 +92,10 @@ func main() {
 		DeathThreshold: *deathThreshold,
 		AutoFailover:   *failover,
 		Client:         &http.Client{Timeout: *nodeTimeout},
+		Logger:         logger,
 	})
 	if err != nil {
-		log.Fatalf("oicd-router: %v", err)
+		fatal("building router", "error", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -90,21 +113,21 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("oicd-router: serving on %s over %d node(s) (probe %v, failover %v)",
-		*addr, len(mem.Nodes), *probeInterval, *failover)
+	log.Info("serving", "addr", *addr, "nodes", len(mem.Nodes),
+		"probe_interval", *probeInterval, "failover", *failover)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("oicd-router: %v", err)
+		fatal("serve failed", "error", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("oicd-router: shutting down (grace %v)", *shutdownGrace)
+	log.Info("shutting down", "grace", *shutdownGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("oicd-router: shutdown: %v", err)
+		log.Warn("shutdown", "error", err)
 	}
 	rt.Stop()
-	log.Printf("oicd-router: bye")
+	log.Info("bye")
 }

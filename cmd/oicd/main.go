@@ -14,11 +14,17 @@
 // 503 {"recovering":true} until every pre-crash session is byte-for-byte
 // back (DESIGN.md §10).
 //
+// Observability (DESIGN.md §12): /metrics serves latency and
+// deadline-margin histograms, every request carries an X-Oic-Trace-Id
+// (minted here when absent), and -log-level/-log-format select
+// structured text or JSON logs on stderr.
+//
 // Usage:
 //
 //	oicd [-addr :8080] [-ttl 15m] [-max-sessions 4096] [-max-fleets 16]
 //	     [-journal-dir /var/lib/oicd/journal] [-journal-sync step]
 //	     [-request-timeout 30s] [-pprof 127.0.0.1:6060]
+//	     [-log-level info] [-log-format text]
 package main
 
 import (
@@ -26,16 +32,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"oic/internal/fault"
 	"oic/internal/journal"
+	"oic/internal/obs"
 	"oic/internal/server"
 
 	// Register the case studies.
@@ -62,44 +71,58 @@ func main() {
 	journalSync := flag.String("journal-sync", "step", "journal fsync policy: step (every append), tick (once per step/tick request), interval, or none")
 	faultSpec := flag.String("fault", "", "deterministic fault injection spec, e.g. \"artifact.read=first:2,journal.append=0.01,sched.compute=after:500\"; empty disables")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -fault decision streams")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error (debug logs every request)")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oicd: %v\n", err)
+		os.Exit(2)
+	}
+	log := logger.With("component", "oicd")
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	srv := server.New(server.Config{
 		SessionTTL: *ttl, MaxSessions: *maxSessions,
 		MaxEngines: *maxEngines, MaxFleets: *maxFleets,
 		RequestTimeout: *requestTimeout,
+		Logger:         logger,
 	})
 	srv.StartJanitor()
 
 	if *faultSpec != "" {
 		inj, err := fault.Parse(*faultSeed, *faultSpec)
 		if err != nil {
-			log.Fatalf("oicd: -fault: %v", err)
+			fatal("invalid -fault spec", "error", err)
 		}
 		srv.SetFaults(inj)
-		log.Printf("oicd: %s", inj)
+		log.Info("fault injection armed", "spec", inj.String())
 	}
 	if *preload && *artifactDir == "" {
-		log.Fatalf("oicd: -preload requires -artifact-dir")
+		fatal("-preload requires -artifact-dir")
 	}
 	if *artifactDir != "" {
 		if err := srv.OpenArtifactStore(*artifactDir); err != nil {
-			log.Fatalf("oicd: -artifact-dir: %v", err)
+			fatal("opening -artifact-dir", "dir", *artifactDir, "error", err)
 		}
-		log.Printf("oicd: artifact store at %s", *artifactDir)
+		log.Info("artifact store open", "dir", *artifactDir)
 	}
 	if *journalDir != "" {
 		policy, err := journal.ParsePolicy(*journalSync)
 		if err != nil {
-			log.Fatalf("oicd: -journal-sync: %v", err)
+			fatal("invalid -journal-sync", "error", err)
 		}
 		if err := srv.OpenJournal(journal.Options{Dir: *journalDir, Policy: policy}); err != nil {
-			log.Fatalf("oicd: -journal-dir: %v", err)
+			fatal("opening -journal-dir", "dir", *journalDir, "error", err)
 		}
-		log.Printf("oicd: journal at %s (sync policy %s)", *journalDir, policy)
+		log.Info("journal open", "dir", *journalDir, "sync_policy", policy.String())
 		run, err := srv.BeginJournalRecovery(*journalDir)
 		if err != nil {
-			log.Fatalf("oicd: journal recovery: %v", err)
+			fatal("journal recovery", "error", err)
 		}
 		// Serve (503 on /readyz and the create endpoints) while replay
 		// runs, so a restart holds traffic until the pre-crash state is
@@ -107,28 +130,30 @@ func main() {
 		go func() {
 			rep, err := run()
 			if err != nil {
-				log.Printf("oicd: journal recovery: %v", err)
+				log.Error("journal recovery failed", "error", err)
 				return
 			}
-			log.Printf("oicd: recovered %d session(s), %d fleet(s) (%d member(s)), %d step(s) replayed; %d skipped, %d failed (%d segment(s), %d record(s), %d torn tail(s), %d orphan(s))",
-				rep.Sessions, rep.Fleets, rep.Members, rep.StepsReplayed,
-				rep.Skipped, rep.Failed, rep.Segments, rep.Records, rep.TornTails, rep.Orphans)
+			log.Info("journal recovery done",
+				"sessions", rep.Sessions, "fleets", rep.Fleets, "members", rep.Members,
+				"steps_replayed", rep.StepsReplayed, "skipped", rep.Skipped, "failed", rep.Failed,
+				"segments", rep.Segments, "records", rep.Records,
+				"torn_tails", rep.TornTails, "orphans", rep.Orphans)
 		}()
 	}
 	if *preload {
 		run, err := srv.BeginPreload()
 		if err != nil {
-			log.Fatalf("oicd: -preload: %v", err)
+			fatal("-preload", "error", err)
 		}
 		// Serve (503 on /readyz) while the catalogue materializes, so a
 		// rolling restart holds traffic instead of rebuilding engines.
 		go func() {
 			n, err := run()
 			if err != nil {
-				log.Printf("oicd: preload: %v", err)
+				log.Error("preload failed", "error", err)
 				return
 			}
-			log.Printf("oicd: preloaded %d engine(s) from %s", n, *artifactDir)
+			log.Info("preload done", "engines", n, "dir", *artifactDir)
 		}()
 	}
 
@@ -145,8 +170,14 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
-		if err := startPprof(*pprofAddr); err != nil {
-			log.Fatalf("oicd: -pprof: %v", err)
+		// Contention profiling is off by default in the runtime; with the
+		// debug listener requested, sample mutex contention (1/16 events)
+		// and every blocking event ≥ 1ms so /debug/pprof/{mutex,block}
+		// carry data.
+		runtime.SetMutexProfileFraction(16)
+		runtime.SetBlockProfileRate(int(time.Millisecond))
+		if err := startPprof(*pprofAddr, log); err != nil {
+			fatal("-pprof", "error", err)
 		}
 	}
 
@@ -155,30 +186,30 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("oicd: serving on %s (session ttl %v, max sessions %d, max fleets %d)",
-		*addr, *ttl, *maxSessions, *maxFleets)
+	log.Info("serving", "addr", *addr, "session_ttl", *ttl,
+		"max_sessions", *maxSessions, "max_fleets", *maxFleets)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("oicd: %v", err)
+		fatal("serve failed", "error", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("oicd: shutting down (grace %v)", *shutdownGrace)
+	log.Info("shutting down", "grace", *shutdownGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("oicd: shutdown: %v", err)
+		log.Warn("shutdown", "error", err)
 	}
 	srv.Close()
-	log.Printf("oicd: bye")
+	log.Info("bye")
 }
 
 // startPprof serves net/http/pprof on its own listener, separate from the
 // API mux so profiling is never reachable through the public address. The
 // address must resolve to a loopback interface — profiles leak heap
 // contents and must not be exposed.
-func startPprof(addr string) error {
+func startPprof(addr string, log *slog.Logger) error {
 	host, _, err := net.SplitHostPort(addr)
 	if err != nil {
 		return fmt.Errorf("invalid address %q: %w", addr, err)
@@ -200,12 +231,12 @@ func startPprof(addr string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("oicd: pprof on http://%s/debug/pprof/", ln.Addr())
+	log.Info("pprof serving", "url", fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
 	go func() {
 		// ReadHeaderTimeout quiets gosec; the listener is loopback-only.
 		s := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 		if err := s.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("oicd: pprof: %v", err)
+			log.Error("pprof serve failed", "error", err)
 		}
 	}()
 	return nil

@@ -153,8 +153,9 @@ func TestCrashRecoverySmoke(t *testing.T) {
 
 	_ = proc2.Process.Signal(syscall.SIGTERM)
 	_ = proc2.Wait()
-	if log := logs2.String(); !strings.Contains(log, fmt.Sprintf("recovered 1 session(s), 1 fleet(s) (%d member(s))", members)) ||
-		!strings.Contains(log, ", 0 failed") {
+	if log := logs2.String(); !strings.Contains(log, "journal recovery done") ||
+		!strings.Contains(log, fmt.Sprintf("sessions=1 fleets=1 members=%d", members)) ||
+		!strings.Contains(log, "failed=0") {
 		t.Fatalf("restart log does not attest the replay:\n%s", log)
 	}
 }

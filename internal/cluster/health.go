@@ -122,6 +122,9 @@ func (rt *Router) probeNode(ctx context.Context, n *nodeState) {
 
 	if died {
 		rt.m.nodeDeaths.Add(1)
+		rt.log.Warn("node declared dead", "node", n.Name, "addr", n.Addr,
+			"consecutive_failures", rt.cfg.DeathThreshold, "source", "probe",
+			"auto_failover", rt.cfg.AutoFailover)
 		if rt.cfg.AutoFailover {
 			go rt.FailoverNode(context.Background(), n.Name)
 		}
@@ -148,6 +151,9 @@ func (rt *Router) noteTransportError(n *nodeState) {
 	n.mu.Unlock()
 	if died {
 		rt.m.nodeDeaths.Add(1)
+		rt.log.Warn("node declared dead", "node", n.Name, "addr", n.Addr,
+			"consecutive_failures", rt.cfg.DeathThreshold, "source", "transport",
+			"auto_failover", rt.cfg.AutoFailover)
 		if rt.cfg.AutoFailover {
 			go rt.FailoverNode(context.Background(), n.Name)
 		}

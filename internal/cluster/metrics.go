@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"sync/atomic"
+
+	"oic/internal/obs"
 )
 
 // routerMetrics are the router's own counters, exposed at /metrics in
@@ -26,6 +28,23 @@ type routerMetrics struct {
 	failoverFailed atomic.Int64
 	nodeDeaths     atomic.Int64 // death declarations (threshold crossings)
 	lost           atomic.Int64 // sessions terminally lost (owner died, no usable shadow)
+
+	// proxyHist is the distribution of node round-trip latencies;
+	// migPhases/failPhases time the individual phases of migrations and
+	// failover landings (fed by the spans in migrate.go).
+	proxyHist  *obs.Histogram
+	migPhases  *obs.PhaseHistogram
+	failPhases *obs.PhaseHistogram
+}
+
+// initHists builds the histogram set; New calls it once per router.
+func (m *routerMetrics) initHists() {
+	lat := obs.LatencyBuckets()
+	m.proxyHist = obs.NewHistogram("oicd_router_proxy_seconds", "node round-trip latency", lat)
+	m.migPhases = obs.NewPhaseHistogram("oicd_migration_phase_seconds", "live migration phase durations",
+		[]string{"freeze", "export", "replay", "verify", "repoint"}, lat)
+	m.failPhases = obs.NewPhaseHistogram("oicd_failover_phase_seconds", "shadow failover landing phase durations",
+		[]string{"export", "replay", "verify", "repoint"}, lat)
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -52,6 +71,10 @@ func (m *routerMetrics) render(w io.Writer, st ClusterStatus) {
 	counter("oicd_router_failover_failed_total", "shadow failover landings failed", m.failoverFailed.Load())
 	counter("oicd_router_node_deaths_total", "node death declarations", m.nodeDeaths.Load())
 	counter("oicd_router_sessions_lost_total", "sessions terminally lost at failover", m.lost.Load())
+	m.proxyHist.Write(w)
+	m.migPhases.Write(w)
+	m.failPhases.Write(w)
+	obs.WriteRuntimeMetrics(w)
 
 	fmt.Fprintf(w, "# HELP oicd_router_node_ready node readiness (1 ready, 0 not)\n# TYPE oicd_router_node_ready gauge\n")
 	for _, n := range st.Nodes {

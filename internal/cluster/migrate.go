@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"oic/internal/obs"
 	"oic/pkg/oic"
 )
 
@@ -128,10 +129,18 @@ func (rt *Router) MigrateSession(ctx context.Context, id, target string) (*Migra
 		rep.Millis = float64(time.Since(start)) / float64(time.Millisecond)
 		return rep, nil
 	}
+	// The span times each protocol phase into
+	// oicd_migration_phase_seconds and lands in /v1/debug/ops, carrying
+	// the request's trace ID so the phases correlate with both nodes'
+	// logs.
+	span := obs.StartSpan("migration", e.id, obs.TraceIDFrom(ctx), rt.ops, rt.m.migPhases)
+
 	// 1. Freeze: quiesce the source and capture the reference snapshot.
+	span.Phase("freeze")
 	status, _, b, perr := rt.proxy(ctx, src, http.MethodPost, "/v1/sessions/"+e.localID+"/freeze", []byte("{}"))
 	if perr != nil {
 		// Source died under us — fall back to the shadow path.
+		span.End(fmt.Errorf("source died mid-freeze; falling over: %v", perr))
 		rep, err := rt.failoverEntry(ctx, e, dst)
 		if err != nil {
 			return nil, err
@@ -141,38 +150,50 @@ func (rt *Router) MigrateSession(ctx context.Context, id, target string) (*Migra
 	}
 	if status != http.StatusOK {
 		rt.m.migrateFailed.Add(1)
-		return nil, fmt.Errorf("cluster: freeze on %s: %s", src.Name, nodeErr(status, b))
+		err := fmt.Errorf("cluster: freeze on %s: %s", src.Name, nodeErr(status, b))
+		span.End(err)
+		return nil, err
 	}
 	var srcInfo oic.SessionInfo
 	if err := json.Unmarshal(b, &srcInfo); err != nil {
 		rt.m.migrateFailed.Add(1)
-		return nil, fmt.Errorf("cluster: freeze on %s: malformed response", src.Name)
+		err := fmt.Errorf("cluster: freeze on %s: malformed response", src.Name)
+		span.End(err)
+		return nil, err
 	}
 
 	fail := func(err error) (*MigrateReport, error) {
 		// Abort path: the source must resume serving.
 		_, _, _, _ = rt.proxy(ctx, src, http.MethodPost, "/v1/sessions/"+e.localID+"/unfreeze", []byte("{}"))
 		rt.m.migrateFailed.Add(1)
+		span.End(err)
+		rt.log.Warn("migration failed", "session", e.id, "from", src.Name, "to", dst.Name,
+			"error", err, "trace_id", obs.TraceIDFrom(ctx))
 		return nil, err
 	}
 
 	// 2. Ship: export the frozen episode.
+	span.Phase("export")
 	status, _, bin, perr := rt.proxy(ctx, src, http.MethodGet, "/v1/sessions/"+e.localID+"/trace?format=binary", nil)
 	if perr != nil {
 		rt.m.migrateFailed.Add(1)
-		return nil, fmt.Errorf("%w: %s died mid-export", ErrShardDown, src.Name)
+		err := fmt.Errorf("%w: %s died mid-export", ErrShardDown, src.Name)
+		span.End(err)
+		return nil, err
 	}
 	if status != http.StatusOK {
 		return fail(fmt.Errorf("cluster: trace export on %s: %s", src.Name, nodeErr(status, bin)))
 	}
 
 	// 3. Replay: land the episode on the target.
+	span.Phase("replay")
 	dstInfo, err := rt.land(ctx, dst, bin)
 	if err != nil {
 		return fail(err)
 	}
 
 	// 4. Verify bit-exactly against the frozen source.
+	span.Phase("verify")
 	if err := verifyHandoff(&srcInfo, dstInfo); err != nil {
 		_, _, _, _ = rt.proxy(ctx, dst, http.MethodDelete, "/v1/sessions/"+dstInfo.ID, nil)
 		return fail(err)
@@ -181,6 +202,7 @@ func (rt *Router) MigrateSession(ctx context.Context, id, target string) (*Migra
 	// 5. Repoint ownership, refresh the shadow to the shipped episode,
 	// delete the source copy (best effort — a dead source's stale copy is
 	// unreachable through the router either way).
+	span.Phase("repoint")
 	oldID := e.localID
 	e.node.Store(dst)
 	e.localID = dstInfo.ID
@@ -189,11 +211,15 @@ func (rt *Router) MigrateSession(ctx context.Context, id, target string) (*Migra
 	}
 	_, _, _, _ = rt.proxy(ctx, src, http.MethodDelete, "/v1/sessions/"+oldID, nil)
 
+	span.End(nil)
 	rt.m.migrations.Add(1)
+	millis := float64(time.Since(start)) / float64(time.Millisecond)
+	rt.log.Info("migration complete", "session", e.id, "from", src.Name, "to", dst.Name,
+		"steps", dstInfo.T, "millis", millis, "trace_id", obs.TraceIDFrom(ctx))
 	return &MigrateReport{
 		Session: e.id, From: src.Name, To: dst.Name,
 		Steps:  dstInfo.T,
-		Millis: float64(time.Since(start)) / float64(time.Millisecond),
+		Millis: millis,
 	}, nil
 }
 
@@ -234,20 +260,29 @@ func (rt *Router) failoverEntry(ctx context.Context, e *sessEntry, dst *nodeStat
 			return nil, err
 		}
 	}
+	span := obs.StartSpan("failover", e.id, obs.TraceIDFrom(ctx), rt.ops, rt.m.failPhases)
+	fail := func(err error) (*MigrateReport, error) {
+		rt.m.failoverFailed.Add(1)
+		span.End(err)
+		rt.log.Warn("failover failed", "session", e.id, "from", src.Name, "to", dst.Name,
+			"error", err, "trace_id", obs.TraceIDFrom(ctx))
+		return nil, err
+	}
+	span.Phase("export")
 	tr := e.sh.rec.Trace()
 	bin, err := oic.EncodeTrace(tr)
 	if err != nil {
-		rt.m.failoverFailed.Add(1)
-		return nil, fmt.Errorf("cluster: encoding shadow episode: %w", err)
+		return fail(fmt.Errorf("cluster: encoding shadow episode: %w", err))
 	}
+	span.Phase("replay")
 	info, err := rt.land(ctx, dst, bin)
 	if err != nil {
-		rt.m.failoverFailed.Add(1)
-		return nil, err
+		return fail(err)
 	}
 	// Verify the landing against the shadow head: same length, same final
 	// state and energy, bit for bit. (The target already verified every
 	// intermediate step during replay.)
+	span.Phase("verify")
 	wantX := tr.X0
 	if n := tr.Len(); n > 0 {
 		wantX = tr.Steps[n-1].X
@@ -255,12 +290,15 @@ func (rt *Router) failoverEntry(ctx context.Context, e *sessEntry, dst *nodeStat
 	if info.T != tr.Len() || !bitsEqual(info.X, wantX) ||
 		math.Float64bits(info.Energy) != math.Float64bits(tr.Energy) {
 		_, _, _, _ = rt.proxy(ctx, dst, http.MethodDelete, "/v1/sessions/"+info.ID, nil)
-		rt.m.failoverFailed.Add(1)
-		return nil, fmt.Errorf("%w: failover landing diverged at t=%d", ErrMigrateMismatch, info.T)
+		return fail(fmt.Errorf("%w: failover landing diverged at t=%d", ErrMigrateMismatch, info.T))
 	}
+	span.Phase("repoint")
 	e.node.Store(dst)
 	e.localID = info.ID
+	span.End(nil)
 	rt.m.failovers.Add(1)
+	rt.log.Info("failover landed", "session", e.id, "from", src.Name, "to", dst.Name,
+		"steps", tr.Len(), "trace_id", obs.TraceIDFrom(ctx))
 	return &MigrateReport{
 		Session: e.id, From: src.Name, To: dst.Name,
 		Steps: tr.Len(), Failover: true,

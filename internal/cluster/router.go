@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"oic/internal/obs"
 	"oic/pkg/oic"
 )
 
@@ -36,6 +38,8 @@ type Config struct {
 	AutoFailover bool
 	// Client is the HTTP client for node traffic (default: 30s timeout).
 	Client *http.Client
+	// Logger receives structured request/operation logs; nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +57,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -110,6 +117,11 @@ type Router struct {
 	stopCh   chan struct{}
 	stopOnce func()
 	probeWG  sync.WaitGroup
+
+	// log is the structured logger (never nil — NopLogger by default);
+	// ops retains recent migration/failover spans for /v1/debug/ops.
+	log *slog.Logger
+	ops *obs.SpanRing
 }
 
 // New builds a Router over a validated membership.
@@ -125,7 +137,10 @@ func New(m *Membership, cfg Config) (*Router, error) {
 		sessions: make(map[string]*sessEntry),
 		fleets:   make(map[string]*fleetPin),
 		stopCh:   make(chan struct{}),
+		log:      cfg.Logger.With("component", "oicd-router"),
+		ops:      obs.NewSpanRing(64),
 	}
+	rt.m.initHists()
 	names := make([]string, 0, len(m.Nodes))
 	for _, n := range m.Nodes {
 		ns := &nodeState{Node: Node{Name: n.Name, Addr: strings.TrimRight(n.Addr, "/")}}
@@ -188,6 +203,15 @@ func (rt *Router) leastLoaded() (*nodeState, error) {
 // so it is excluded from liveness accounting; a successful round trip
 // is positive evidence and clears the failure streak.
 func (rt *Router) proxy(ctx context.Context, n *nodeState, method, pathAndQuery string, body []byte) (int, string, []byte, error) {
+	return rt.proxyFwd(ctx, n, method, pathAndQuery, body, nil)
+}
+
+// proxyFwd is proxy with the inbound client headers attached: the
+// client's Content-Type and Accept are forwarded faithfully (JSON stays
+// the default for protocol-internal calls, which pass nil), and the
+// context's trace ID rides the X-Oic-Trace-Id header so the shard's logs
+// carry the same ID the router minted.
+func (rt *Router) proxyFwd(ctx context.Context, n *nodeState, method, pathAndQuery string, body []byte, client http.Header) (int, string, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = strings.NewReader(string(body))
@@ -199,6 +223,18 @@ func (rt *Router) proxy(ctx context.Context, n *nodeState, method, pathAndQuery 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if client != nil {
+		if ct := client.Get("Content-Type"); ct != "" && body != nil {
+			req.Header.Set("Content-Type", ct)
+		}
+		if ac := client.Get("Accept"); ac != "" {
+			req.Header.Set("Accept", ac)
+		}
+	}
+	if id := obs.TraceIDFrom(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+	start := time.Now()
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		rt.m.proxyErrors.Add(1)
@@ -216,6 +252,7 @@ func (rt *Router) proxy(ctx context.Context, n *nodeState, method, pathAndQuery 
 		}
 		return 0, "", nil, err
 	}
+	rt.m.proxyHist.Observe(time.Since(start).Seconds())
 	rt.m.proxied.Add(1)
 	rt.noteTransportOK(n)
 	return resp.StatusCode, resp.Header.Get("Content-Type"), b, nil
@@ -240,7 +277,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, oic.ErrorResponse{Error: msg, Code: code})
+	// The trace middleware stamped the response header before the handler
+	// ran; echo it so every router-originated error body names its trace.
+	writeJSON(w, status, oic.ErrorResponse{
+		Error: msg, Code: code,
+		TraceID: w.Header().Get(obs.TraceHeader),
+	})
 }
 
 // relay copies a node response through unchanged — the nodes already
@@ -253,11 +295,34 @@ func relay(w http.ResponseWriter, status int, ctype string, body []byte) {
 	_, _ = w.Write(body)
 }
 
-// shardDown writes the consistent shard-unreachable error.
+// relayFrom relays a node response, annotating JSON error payloads with
+// the shard's name so a relayed failure names which node produced it.
+func (rt *Router) relayFrom(w http.ResponseWriter, n *nodeState, status int, ctype string, body []byte) {
+	if status >= 400 && strings.Contains(ctype, "json") {
+		var er oic.ErrorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" && er.Node == "" {
+			er.Node = n.Name
+			if out, err := json.Marshal(er); err == nil {
+				relay(w, status, ctype, out)
+				return
+			}
+		}
+	}
+	relay(w, status, ctype, body)
+}
+
+// shardDown writes the consistent shard-unreachable error, naming the
+// shard in both the message and the structured node field.
 func (rt *Router) shardDown(w http.ResponseWriter, n *nodeState) {
 	rt.m.shardDown.Add(1)
-	writeErr(w, http.StatusServiceUnavailable, "shard_down",
-		fmt.Sprintf("shard %s (%s) is unreachable", n.Name, n.Addr))
+	rt.log.Warn("shard unreachable", "node", n.Name, "addr", n.Addr,
+		"trace_id", w.Header().Get(obs.TraceHeader))
+	writeJSON(w, http.StatusServiceUnavailable, oic.ErrorResponse{
+		Error:   fmt.Sprintf("shard %s (%s) is unreachable", n.Name, n.Addr),
+		Code:    "shard_down",
+		Node:    n.Name,
+		TraceID: w.Header().Get(obs.TraceHeader),
+	})
 }
 
 func readBody(r *http.Request) ([]byte, error) {
@@ -294,7 +359,45 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cluster", rt.handleClusterStatus)
 	mux.HandleFunc("POST /v1/cluster/migrate", rt.handleClusterMigrate)
 	mux.HandleFunc("POST /v1/cluster/drain", rt.handleClusterDrain)
-	return mux
+	mux.HandleFunc("GET /v1/debug/ops", rt.handleDebugOps)
+	return rt.withTrace(mux)
+}
+
+// withTrace mints (or adopts) the request's trace ID — the router is the
+// usual minting point for cluster traffic — stamps it on the response,
+// threads it through the context so proxyFwd forwards it to the shard,
+// and logs request completion with it.
+func (rt *Router) withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.TraceHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(obs.WithTraceID(r.Context(), id)))
+		rt.log.Debug("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "elapsed", time.Since(start), "trace_id", id)
+	})
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handleDebugOps serves the recent migration/failover spans, newest
+// first.
+func (rt *Router) handleDebugOps(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"spans": rt.ops.Snapshot()})
 }
 
 // handleHealthz is router liveness: always 200.
@@ -324,11 +427,11 @@ func (rt *Router) handlePlants(w http.ResponseWriter, r *http.Request) {
 		if !n.isLive() {
 			continue
 		}
-		status, ctype, b, err := rt.proxy(r.Context(), n, http.MethodGet, "/v1/plants", nil)
+		status, ctype, b, err := rt.proxyFwd(r.Context(), n, http.MethodGet, "/v1/plants", nil, r.Header)
 		if err != nil {
 			continue
 		}
-		relay(w, status, ctype, b)
+		rt.relayFrom(w, n, status, ctype, b)
 		return
 	}
 	writeErr(w, http.StatusServiceUnavailable, "no_shard", ErrNoShard.Error())
@@ -347,12 +450,12 @@ func (rt *Router) handleReplay(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "no_shard", err.Error())
 		return
 	}
-	status, ctype, b, perr := rt.proxy(r.Context(), n, http.MethodPost, "/v1/replay", body)
+	status, ctype, b, perr := rt.proxyFwd(r.Context(), n, http.MethodPost, "/v1/replay", body, r.Header)
 	if perr != nil {
 		rt.shardDown(w, n)
 		return
 	}
-	relay(w, status, ctype, b)
+	rt.relayFrom(w, n, status, ctype, b)
 }
 
 // handleCreateSession places a session by its canonical config
@@ -390,7 +493,7 @@ func (rt *Router) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if status != http.StatusCreated {
-		relay(w, status, ctype, b)
+		rt.relayFrom(w, n, status, ctype, b)
 		return
 	}
 	var info oic.SessionInfo
@@ -440,7 +543,7 @@ func (rt *Router) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owner := e.node.Load()
-	status, ctype, b, err := rt.proxy(r.Context(), owner, http.MethodGet, "/v1/sessions/"+e.localID, nil)
+	status, ctype, b, err := rt.proxyFwd(r.Context(), owner, http.MethodGet, "/v1/sessions/"+e.localID, nil, r.Header)
 	if err != nil {
 		rt.shardDown(w, owner)
 		return
@@ -453,7 +556,7 @@ func (rt *Router) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	relay(w, status, ctype, b)
+	rt.relayFrom(w, owner, status, ctype, b)
 }
 
 // handleSessionStep proxies a step and folds every acknowledged result
@@ -484,7 +587,7 @@ func (rt *Router) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owner := e.node.Load()
-	status, ctype, b, perr := rt.proxy(r.Context(), owner, http.MethodPost, "/v1/sessions/"+e.localID+"/step", body)
+	status, ctype, b, perr := rt.proxyFwd(r.Context(), owner, http.MethodPost, "/v1/sessions/"+e.localID+"/step", body, r.Header)
 	if perr != nil {
 		// The step may or may not have executed on the dying node — but it
 		// was never acknowledged, so it is not in the shadow, and a failover
@@ -494,7 +597,7 @@ func (rt *Router) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.recordStep(e, &req, status, b)
-	relay(w, status, ctype, b)
+	rt.relayFrom(w, owner, status, ctype, b)
 }
 
 // recordStep folds a step response into the shadow. Batch responses may
@@ -563,7 +666,7 @@ func (rt *Router) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
 		path += "?" + q
 	}
 	owner := e.node.Load()
-	status, ctype, b, err := rt.proxy(r.Context(), owner, http.MethodGet, path, nil)
+	status, ctype, b, err := rt.proxyFwd(r.Context(), owner, http.MethodGet, path, nil, r.Header)
 	if err != nil {
 		rt.shardDown(w, owner)
 		return
@@ -576,7 +679,7 @@ func (rt *Router) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	relay(w, status, ctype, b)
+	rt.relayFrom(w, owner, status, ctype, b)
 }
 
 // handleSessionDelete closes the session on its owner and drops the
@@ -600,7 +703,7 @@ func (rt *Router) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owner := e.node.Load()
-	status, ctype, b, err := rt.proxy(r.Context(), owner, http.MethodDelete, "/v1/sessions/"+e.localID, nil)
+	status, ctype, b, err := rt.proxyFwd(r.Context(), owner, http.MethodDelete, "/v1/sessions/"+e.localID, nil, r.Header)
 	if err != nil {
 		rt.shardDown(w, owner)
 		return
@@ -613,7 +716,7 @@ func (rt *Router) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	relay(w, status, ctype, b)
+	rt.relayFrom(w, owner, status, ctype, b)
 }
 
 // handleCreateFleet places a fleet by its canonical config fingerprint,
@@ -649,7 +752,7 @@ func (rt *Router) handleCreateFleet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if status != http.StatusCreated {
-		relay(w, status, ctype, b)
+		rt.relayFrom(w, n, status, ctype, b)
 		return
 	}
 	var info oic.FleetInfo
@@ -704,17 +807,18 @@ func (rt *Router) handleFleetProxy(w http.ResponseWriter, r *http.Request) {
 		fwd = body
 	}
 	owner := f.node.Load()
-	status, ctype, b, perr := rt.proxy(r.Context(), owner, r.Method, path, fwd)
+	status, ctype, b, perr := rt.proxyFwd(r.Context(), owner, r.Method, path, fwd, r.Header)
 	if perr != nil {
 		rt.shardDown(w, owner)
 		return
 	}
-	rt.rewriteFleetID(w, f, status, ctype, b)
+	rt.rewriteFleetID(w, f, owner, status, ctype, b)
 }
 
 // rewriteFleetID maps node-local fleet IDs back to the public one in
-// ID-bearing JSON responses; everything else relays unchanged.
-func (rt *Router) rewriteFleetID(w http.ResponseWriter, f *fleetPin, status int, ctype string, b []byte) {
+// ID-bearing JSON responses; everything else relays unchanged (error
+// payloads gain the shard's name).
+func (rt *Router) rewriteFleetID(w http.ResponseWriter, f *fleetPin, n *nodeState, status int, ctype string, b []byte) {
 	if status < 300 && strings.Contains(ctype, "json") {
 		var probe map[string]json.RawMessage
 		if json.Unmarshal(b, &probe) == nil {
@@ -730,7 +834,7 @@ func (rt *Router) rewriteFleetID(w http.ResponseWriter, f *fleetPin, status int,
 			}
 		}
 	}
-	relay(w, status, ctype, b)
+	rt.relayFrom(w, n, status, ctype, b)
 }
 
 // handleFleetDelete closes the fleet on its shard and unpins it.
@@ -747,12 +851,12 @@ func (rt *Router) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
 	delete(rt.fleets, id)
 	rt.mu.Unlock()
 	owner := f.node.Load()
-	status, ctype, b, err := rt.proxy(r.Context(), owner, http.MethodDelete, "/v1/fleets/"+f.localID, nil)
+	status, ctype, b, err := rt.proxyFwd(r.Context(), owner, http.MethodDelete, "/v1/fleets/"+f.localID, nil, r.Header)
 	if err != nil {
 		rt.shardDown(w, owner)
 		return
 	}
-	rt.rewriteFleetID(w, f, status, ctype, b)
+	rt.rewriteFleetID(w, f, owner, status, ctype, b)
 }
 
 // Status snapshots the cluster: per-node health and load plus the

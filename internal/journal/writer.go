@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"oic/internal/fault"
+	"oic/internal/obs"
 )
 
 // SyncPolicy selects when the writer fsyncs the active segment — the
@@ -88,6 +89,10 @@ type Options struct {
 	// Faults optionally injects failures at the journal.append and
 	// journal.sync sites; nil means no injection.
 	Faults *fault.Injector
+	// AppendHist and SyncHist, when set, receive per-append and per-fsync
+	// latencies (seconds). Both are nil-safe no-ops when unset.
+	AppendHist *obs.Histogram
+	SyncHist   *obs.Histogram
 }
 
 // WriterStats is a snapshot of a writer's accounting.
@@ -241,9 +246,11 @@ func (w *Writer) flushLocked(sync bool) error {
 	if err := w.opts.Faults.Hit(fault.SiteJournalSync); err != nil {
 		return err
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	w.opts.SyncHist.Observe(time.Since(start).Seconds())
 	w.dirty = false
 	w.stats.Syncs++
 	return nil
@@ -257,10 +264,12 @@ func (w *Writer) Append(r *Record) error {
 	if w.err != nil {
 		return w.err
 	}
+	start := time.Now()
 	if err := w.appendLocked(r); err != nil {
 		w.err = err
 		return err
 	}
+	w.opts.AppendHist.Observe(time.Since(start).Seconds())
 	return nil
 }
 

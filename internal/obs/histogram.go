@@ -1,0 +1,192 @@
+// Package obs is the zero-dependency observability core shared by oicd,
+// oicd-router, and the journal: log-linear latency histograms rendered in
+// Prometheus text format, structured slog loggers, cross-node trace IDs,
+// and phase-timed spans with a bounded in-memory ring.
+//
+// The histogram hot path (Observe) is lock-free and allocation-free: a
+// linear scan over a fixed bucket table plus two atomic adds. That keeps
+// it safe to call from the session-step fast path without perturbing the
+// latencies it measures.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with atomic counters. Buckets are
+// non-cumulative internally and rendered cumulatively (Prometheus
+// convention) at scrape time. A nil *Histogram is a valid no-op receiver
+// so callers (e.g. journal.Options) can leave hooks unset.
+type Histogram struct {
+	name    string
+	help    string
+	bounds  []float64 // upper bounds, strictly increasing; +Inf implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram with the given strictly increasing
+// upper bounds. The +Inf bucket is implicit.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted: " + name)
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Zero allocations; safe for concurrent use;
+// no-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// formatBound renders a bucket upper bound the way Prometheus text format
+// expects ("0.001", "+Inf").
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Write renders the histogram as a full Prometheus text-format family:
+// HELP/TYPE headers, cumulative buckets, _sum and _count.
+func (h *Histogram) Write(w io.Writer) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", h.name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+}
+
+// PhaseHistogram is a histogram family labeled by a fixed "phase" label
+// value set, for per-phase operation timings
+// (e.g. oicd_migration_phase_seconds{phase="freeze"}). The phase set is
+// fixed at construction so Observe stays allocation-free.
+type PhaseHistogram struct {
+	name   string
+	help   string
+	phases []string
+	hists  []*Histogram
+}
+
+// NewPhaseHistogram builds one sub-histogram per phase, all sharing the
+// same bounds.
+func NewPhaseHistogram(name, help string, phases []string, bounds []float64) *PhaseHistogram {
+	ph := &PhaseHistogram{name: name, help: help, phases: phases}
+	for _, p := range phases {
+		ph.hists = append(ph.hists, NewHistogram(name, help, bounds))
+		_ = p
+	}
+	return ph
+}
+
+// Observe records a value under the named phase. Unknown phases are
+// dropped (the phase set is a closed vocabulary). No-op on nil.
+func (ph *PhaseHistogram) Observe(phase string, v float64) {
+	if ph == nil {
+		return
+	}
+	for i, p := range ph.phases {
+		if p == phase {
+			ph.hists[i].Observe(v)
+			return
+		}
+	}
+}
+
+// Write renders the family: one HELP/TYPE header, then every phase's
+// cumulative buckets, _sum, and _count with a phase label.
+func (ph *PhaseHistogram) Write(w io.Writer) {
+	if ph == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", ph.name, ph.help, ph.name)
+	for i, p := range ph.phases {
+		h := ph.hists[i]
+		var cum uint64
+		for j, b := range h.bounds {
+			cum += h.counts[j].Load()
+			fmt.Fprintf(w, "%s_bucket{phase=%q,le=%q} %d\n", ph.name, p, formatBound(b), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{phase=%q,le=\"+Inf\"} %d\n", ph.name, p, cum)
+		fmt.Fprintf(w, "%s_sum{phase=%q} %g\n", ph.name, p, h.Sum())
+		fmt.Fprintf(w, "%s_count{phase=%q} %d\n", ph.name, p, cum)
+	}
+}
+
+// LatencyBuckets is the shared log-linear layout for request/operation
+// latencies: 1-2-5 steps per decade from 1µs to 10s. 22 buckets.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2e-6, 5e-6,
+		1e-5, 2e-5, 5e-5,
+		1e-4, 2e-4, 5e-4,
+		1e-3, 2e-3, 5e-3,
+		1e-2, 2e-2, 5e-2,
+		1e-1, 2e-1, 5e-1,
+		1, 2, 5, 10,
+	}
+}
+
+// MarginBuckets is the layout for the tick deadline margin
+// (deadline − elapsed): symmetric around zero so overruns (negative
+// margin) are as visible as slack. 19 buckets.
+func MarginBuckets() []float64 {
+	return []float64{
+		-1, -0.1, -0.01, -1e-3, -1e-4, -1e-5, 0,
+		1e-5, 1e-4, 1e-3, 2e-3, 5e-3,
+		1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1,
+	}
+}

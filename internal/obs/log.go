@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a *slog.Logger writing to w at the given level in the
+// given format ("text" or "json"). Level is one of debug|info|warn|error
+// (case-insensitive); both arguments reject anything else so flag typos
+// surface at startup rather than silently logging at the wrong level.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default when
+// a Config.Logger is left nil, so library code can log unconditionally.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram("x_seconds", "test", LatencyBuckets())
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(3.7e-4) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %v times per call, want 0", allocs)
+	}
+}
+
+func TestHistogramBucketsAndRender(t *testing.T) {
+	h := NewHistogram("x_seconds", "test latencies", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 0.0005+0.005+0.005+0.05+5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Sum = %g, want %g", got, want)
+	}
+	var buf bytes.Buffer
+	h.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`x_seconds_bucket{le="0.001"} 1`,
+		`x_seconds_bucket{le="0.01"} 3`,
+		`x_seconds_bucket{le="0.1"} 4`,
+		`x_seconds_bucket{le="+Inf"} 5`,
+		`x_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateMetrics: %v", err)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.Write(&bytes.Buffer{})
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram should be empty")
+	}
+	var ph *PhaseHistogram
+	ph.Observe("x", 1)
+	ph.Write(&bytes.Buffer{})
+}
+
+func TestPhaseHistogramRender(t *testing.T) {
+	ph := NewPhaseHistogram("op_phase_seconds", "per-phase", []string{"a", "b"}, []float64{0.01, 0.1})
+	ph.Observe("a", 0.005)
+	ph.Observe("b", 0.5)
+	ph.Observe("zzz", 1) // unknown phase dropped
+	var buf bytes.Buffer
+	ph.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`op_phase_seconds_bucket{phase="a",le="0.01"} 1`,
+		`op_phase_seconds_bucket{phase="b",le="+Inf"} 1`,
+		`op_phase_seconds_count{phase="a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateMetrics: %v", err)
+	}
+}
+
+func TestValidateMetricsCatchesBrokenScrapes(t *testing.T) {
+	cases := map[string]string{
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"count mismatch":         "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 9\n",
+		"missing sum":            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+		"missing inf":            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"duplicate family":       "# TYPE g gauge\n# TYPE g counter\ng 1\n",
+		"duplicate sample":       "# TYPE g gauge\ng 1\ng 2\n",
+		"undeclared sample":      "mystery_metric 4\n",
+	}
+	for name, body := range cases {
+		if err := ValidateMetrics([]byte(body)); err == nil {
+			t.Errorf("%s: validator accepted broken scrape", name)
+		}
+	}
+}
+
+func TestSpanRingAndPhases(t *testing.T) {
+	ring := NewSpanRing(2)
+	ph := NewPhaseHistogram("mig_phase_seconds", "t", []string{"freeze", "export"}, LatencyBuckets())
+	sp := StartSpan("migration", "s1", "trace-1", ring, ph)
+	sp.Phase("freeze")
+	time.Sleep(time.Millisecond)
+	sp.Phase("export")
+	time.Sleep(time.Millisecond)
+	sp.End(nil)
+
+	sp2 := StartSpan("failover", "s2", "", ring, nil)
+	sp2.Phase("land")
+	sp2.End(errors.New("boom"))
+
+	got := ring.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(got))
+	}
+	if got[0].Op != "failover" || got[0].Err != "boom" {
+		t.Fatalf("newest span wrong: %+v", got[0])
+	}
+	mig := got[1]
+	if mig.Op != "migration" || mig.TraceID != "trace-1" || len(mig.Phases) != 2 {
+		t.Fatalf("migration span wrong: %+v", mig)
+	}
+	for _, p := range mig.Phases {
+		if p.Elapsed <= 0 {
+			t.Fatalf("phase %s has nonpositive duration", p.Name)
+		}
+	}
+	// Overflow: a third span evicts the oldest.
+	StartSpan("recovery", "", "", ring, nil).End(nil)
+	got = ring.Snapshot()
+	if len(got) != 2 || got[0].Op != "recovery" || got[1].Op != "failover" {
+		t.Fatalf("ring eviction wrong: %+v", got)
+	}
+	// Nil receivers are safe.
+	var nilSpan *Span
+	nilSpan.Phase("x")
+	nilSpan.End(nil)
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "trace_id", "abc123")
+	if !strings.Contains(buf.String(), `"trace_id":"abc123"`) {
+		t.Fatalf("json log missing field: %s", buf.String())
+	}
+	buf.Reset()
+	lg, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "kept") {
+		t.Fatalf("level filtering wrong: %s", buf.String())
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if NopLogger().Handler().Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("NopLogger should discard")
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("trace IDs not unique 16-hex: %q %q", a, b)
+	}
+	ctx := WithTraceID(context.Background(), a)
+	if got := TraceIDFrom(ctx); got != a {
+		t.Fatalf("TraceIDFrom = %q, want %q", got, a)
+	}
+	if TraceIDFrom(context.Background()) != "" {
+		t.Fatal("empty context should have no trace ID")
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	WriteRuntimeMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{"go_goroutines ", "go_gc_pause_seconds_total ", "go_heap_inuse_bytes "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runtime metrics missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateMetrics: %v", err)
+	}
+}

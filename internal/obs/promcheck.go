@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateMetrics is a strict Prometheus text-format checker used by the
+// scrape-validity tests. It verifies that every line parses, no family is
+// declared twice, no sample (name+labels) repeats, and that every family
+// declared as a histogram has cumulative buckets ending in +Inf with a
+// _count equal to the +Inf bucket and a _sum present, per label subset.
+func ValidateMetrics(body []byte) error {
+	types := map[string]string{} // family -> declared type
+	seen := map[string]bool{}    // full sample line identity (name{labels})
+	type sample struct {
+		labels string // labels minus le, for grouping histogram series
+		le     string
+		value  float64
+	}
+	buckets := map[string][]sample{} // family -> bucket samples
+	sums := map[string]map[string]float64{}
+	counts := map[string]map[string]float64{}
+
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			fam, typ := parts[2], parts[3]
+			if prev, ok := types[fam]; ok {
+				return fmt.Errorf("line %d: duplicate TYPE declaration for family %s (already %s)", lineNo, fam, prev)
+			}
+			types[fam] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		}
+		name, labels, val, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seen[key] = true
+
+		fam, kind := histFamily(name, types)
+		switch kind {
+		case "bucket":
+			le, rest := splitLE(labels)
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+			}
+			buckets[fam] = append(buckets[fam], sample{labels: rest, le: le, value: val})
+		case "sum":
+			if sums[fam] == nil {
+				sums[fam] = map[string]float64{}
+			}
+			sums[fam][labels] = val
+		case "count":
+			if counts[fam] == nil {
+				counts[fam] = map[string]float64{}
+			}
+			counts[fam][labels] = val
+		default:
+			if _, ok := types[name]; !ok {
+				return fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		series := map[string][]sample{}
+		for _, b := range buckets[fam] {
+			series[b.labels] = append(series[b.labels], b)
+		}
+		if len(series) == 0 {
+			return fmt.Errorf("histogram %s has no buckets", fam)
+		}
+		for labels, bs := range series {
+			sort.SliceStable(bs, func(i, j int) bool { return leValue(bs[i].le) < leValue(bs[j].le) })
+			prev := -1.0
+			for _, b := range bs {
+				if b.value < prev {
+					return fmt.Errorf("histogram %s{%s}: buckets not cumulative at le=%s (%g < %g)", fam, labels, b.le, b.value, prev)
+				}
+				prev = b.value
+			}
+			last := bs[len(bs)-1]
+			if last.le != "+Inf" {
+				return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", fam, labels)
+			}
+			c, ok := counts[fam][labels]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s}: missing _count", fam, labels)
+			}
+			if c != last.value {
+				return fmt.Errorf("histogram %s{%s}: _count %g != +Inf bucket %g", fam, labels, c, last.value)
+			}
+			if _, ok := sums[fam][labels]; !ok {
+				return fmt.Errorf("histogram %s{%s}: missing _sum", fam, labels)
+			}
+		}
+	}
+	return nil
+}
+
+// histFamily maps a sample name to its histogram family and role
+// ("bucket", "sum", "count") if the trimmed name is a declared histogram.
+func histFamily(name string, types map[string]string) (string, string) {
+	for suffix, kind := range map[string]string{"_bucket": "bucket", "_sum": "sum", "_count": "count"} {
+		if fam, ok := strings.CutSuffix(name, suffix); ok && types[fam] == "histogram" {
+			return fam, kind
+		}
+	}
+	return name, ""
+}
+
+// parseSample splits `name{labels} value` (labels optional) and parses
+// the value.
+func parseSample(line string) (name, labels string, val float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("malformed labels in %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = parts[0], parts[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, v, nil
+}
+
+// splitLE pulls the le label out of a label string, returning its value
+// and the remaining labels (order preserved).
+func splitLE(labels string) (le, rest string) {
+	var kept []string
+	for _, part := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(part, "le="); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, part)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// leValue orders bucket bounds numerically with +Inf last.
+func leValue(le string) float64 {
+	if le == "+Inf" {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return v
+}

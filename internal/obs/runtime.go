@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// WriteRuntimeMetrics appends Go runtime gauges shared by every serving
+// binary: live goroutines, cumulative GC pause, and heap in use.
+// runtime.ReadMemStats is a stop-the-world call, but only at scrape time.
+func WriteRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP go_goroutines number of live goroutines\n# TYPE go_goroutines gauge\ngo_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP go_gc_pause_seconds_total cumulative GC stop-the-world pause time\n# TYPE go_gc_pause_seconds_total counter\ngo_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(w, "# HELP go_heap_inuse_bytes bytes in in-use heap spans\n# TYPE go_heap_inuse_bytes gauge\ngo_heap_inuse_bytes %d\n", ms.HeapInuse)
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// PhaseRecord is one timed phase inside a span.
+type PhaseRecord struct {
+	Name    string        `json:"name"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// SpanRecord is a completed multi-phase operation, as served by
+// GET /v1/debug/ops.
+type SpanRecord struct {
+	Op      string        `json:"op"`                 // "migration", "failover", "recovery"
+	ID      string        `json:"id,omitempty"`       // session/subject identifier
+	TraceID string        `json:"trace_id,omitempty"` // correlating request trace, if any
+	Start   time.Time     `json:"start"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Err     string        `json:"error,omitempty"`
+	Phases  []PhaseRecord `json:"phases"`
+}
+
+// SpanRing keeps the most recent completed spans in a bounded ring.
+// Spans are rare (migrations, failovers, boots), so a mutex is fine.
+type SpanRing struct {
+	mu   sync.Mutex
+	cap  int
+	recs []SpanRecord
+	next int
+	full bool
+}
+
+// NewSpanRing builds a ring holding up to capacity spans (min 1).
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRing{cap: capacity, recs: make([]SpanRecord, capacity)}
+}
+
+func (r *SpanRing) push(rec SpanRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.recs[r.next] = rec
+	r.next = (r.next + 1) % r.cap
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, newest first.
+func (r *SpanRing) Snapshot() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = r.cap
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.recs[((r.next-1-i)%r.cap+r.cap)%r.cap])
+	}
+	return out
+}
+
+// Span times a multi-phase operation. Phase(name) closes the previous
+// phase and opens the next; End closes the last phase, records the span
+// into the ring, and feeds each phase duration into hist (both optional).
+type Span struct {
+	rec       SpanRecord
+	ring      *SpanRing
+	hist      *PhaseHistogram
+	phaseName string
+	phaseAt   time.Time
+}
+
+// StartSpan begins a span for op. ring and hist may be nil.
+func StartSpan(op, id, traceID string, ring *SpanRing, hist *PhaseHistogram) *Span {
+	return &Span{
+		rec:  SpanRecord{Op: op, ID: id, TraceID: traceID, Start: time.Now()},
+		ring: ring,
+		hist: hist,
+	}
+}
+
+func (s *Span) closePhase(now time.Time) {
+	if s.phaseName == "" {
+		return
+	}
+	d := now.Sub(s.phaseAt)
+	s.rec.Phases = append(s.rec.Phases, PhaseRecord{Name: s.phaseName, Elapsed: d})
+	s.hist.Observe(s.phaseName, d.Seconds())
+	s.phaseName = ""
+}
+
+// Phase closes the current phase (if any) and starts a new one.
+func (s *Span) Phase(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closePhase(now)
+	s.phaseName = name
+	s.phaseAt = now
+}
+
+// End closes the span and pushes it to the ring. err may be nil.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closePhase(now)
+	s.rec.Elapsed = now.Sub(s.rec.Start)
+	if err != nil {
+		s.rec.Err = err.Error()
+	}
+	s.ring.push(s.rec)
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceHeader carries the request's trace ID between router and shard and
+// back to the client on every /v1/* response.
+const TraceHeader = "X-Oic-Trace-Id"
+
+type traceKey struct{}
+
+// NewTraceID mints a 16-hex-char random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is effectively unreachable; a fixed ID is
+		// still a valid (if uncorrelatable) trace ID.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns a context carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom returns the context's trace ID, or "" if none was attached.
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -280,7 +280,7 @@ func (s *Server) handleFleetTick(w http.ResponseWriter, r *http.Request) {
 		for _, fe2 := range rep.Errors {
 			s.journalEvict(fe.id, fe2.ID)
 		}
-		s.m.observeTick(rep)
+		s.m.observeTick(rep, fe.f.Config().TickDeadline)
 		resp.Reports = append(resp.Reports, rep)
 	}
 	// One fsync per tick request amortizes durability over every member's

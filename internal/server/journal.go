@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"oic/internal/journal"
+	"oic/internal/obs"
 	"oic/pkg/oic"
 )
 
@@ -38,6 +39,12 @@ var errRecovering = errors.New("recovering sessions from journal; retry shortly"
 func (s *Server) OpenJournal(opts journal.Options) error {
 	if opts.Faults == nil {
 		opts.Faults = s.faults
+	}
+	if opts.AppendHist == nil {
+		opts.AppendHist = s.m.journalAppendHist
+	}
+	if opts.SyncHist == nil {
+		opts.SyncHist = s.m.journalSyncHist
 	}
 	w, err := journal.OpenWriter(opts)
 	if err != nil {
@@ -258,8 +265,17 @@ func (s *Server) BeginJournalRecovery(dir string) (run func() (RecoveryReport, e
 	return func() (RecoveryReport, error) {
 		defer s.recovering.Store(false)
 		var rep RecoveryReport
+		// Recovery is phase-timed: scan (read + validate segments),
+		// rebuild (materialize every distinct engine, warm via the
+		// artifact store), replay (resume each object to its head). The
+		// span lands in /v1/debug/ops and each phase in
+		// oicd_recovery_phase_seconds, so a slow boot is attributable.
+		span := obs.StartSpan("recovery", dir, "", s.ops, s.m.recoveryPhases)
+		span.Phase("scan")
 		rv, err := journal.Recover(dir)
 		if err != nil {
+			span.End(err)
+			s.log.Error("journal recovery failed", "dir", dir, "error", err)
 			return rep, err
 		}
 		rv.SortMembers()
@@ -268,6 +284,30 @@ func (s *Server) BeginJournalRecovery(dir string) (run func() (RecoveryReport, e
 		s.m.journalTornTails.Store(int64(rv.TornTails))
 		s.m.journalOrphans.Store(int64(rv.Orphans))
 
+		// Rebuild: prefetch every distinct engine configuration once,
+		// single-flight through the engine cache, so the replay phase
+		// below measures replay work, not engine construction.
+		span.Phase("rebuild")
+		seen := map[string]bool{}
+		prefetch := func(cfg oic.Config) {
+			cfg = cfg.Canonical()
+			if key := cfg.Fingerprint(); !seen[key] {
+				seen[key] = true
+				_, _ = s.engine(cfg)
+			}
+		}
+		for _, st := range rv.Sessions {
+			if !st.Closed {
+				prefetch(oic.ConfigFromTrace(st.Trace()))
+			}
+		}
+		for _, fs := range rv.Fleets {
+			if !fs.Closed {
+				prefetch(fleetRecoveryConfig(fs))
+			}
+		}
+
+		span.Phase("replay")
 		var maxSID, maxFID uint64
 		for _, st := range rv.Sessions {
 			if n, ok := numericID(st.ID, "s-"); ok && n > maxSID {
@@ -307,8 +347,26 @@ func (s *Server) BeginJournalRecovery(dir string) (run func() (RecoveryReport, e
 		s.m.recoveredMembers.Store(int64(rep.Members))
 		s.m.recoveredSteps.Store(int64(rep.StepsReplayed))
 		s.m.recoveryFailed.Store(int64(rep.Failed))
+		span.End(nil)
+		s.log.Info("journal recovery complete",
+			"dir", dir, "sessions", rep.Sessions, "fleets", rep.Fleets,
+			"members", rep.Members, "steps_replayed", rep.StepsReplayed,
+			"skipped", rep.Skipped, "failed", rep.Failed,
+			"torn_tails", rep.TornTails, "orphans", rep.Orphans)
 		return rep, nil
 	}, nil
+}
+
+// fleetRecoveryConfig is the engine configuration a journaled fleet
+// resumes under (shared with resumeFleet).
+func fleetRecoveryConfig(fs *journal.FleetState) oic.Config {
+	return oic.Config{
+		Plant: fs.Meta.Plant, Scenario: fs.Meta.Scenario, Policy: fs.Meta.Policy,
+		Memory: fs.Meta.Memory,
+		Train: oic.TrainConfig{
+			Episodes: fs.Meta.TrainEpisodes, Steps: fs.Meta.TrainSteps, Seed: fs.Meta.TrainSeed,
+		},
+	}
 }
 
 // resumeSession rebuilds one journaled session at its head. Recovered
@@ -349,13 +407,7 @@ func (s *Server) resumeSession(st *journal.SessionState) bool {
 // resumeFleet rebuilds one journaled fleet: same scheduler shape, every
 // live member replayed to head under its old ID, evicted IDs reserved.
 func (s *Server) resumeFleet(fs *journal.FleetState, rep *RecoveryReport) {
-	eng, err := s.engine(oic.Config{
-		Plant: fs.Meta.Plant, Scenario: fs.Meta.Scenario, Policy: fs.Meta.Policy,
-		Memory: fs.Meta.Memory,
-		Train: oic.TrainConfig{
-			Episodes: fs.Meta.TrainEpisodes, Steps: fs.Meta.TrainSteps, Seed: fs.Meta.TrainSeed,
-		},
-	})
+	eng, err := s.engine(fleetRecoveryConfig(fs))
 	if err != nil {
 		rep.Failed++
 		return

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"oic/internal/journal"
+	"oic/internal/obs"
 	"oic/pkg/oic"
 )
 
@@ -25,27 +27,24 @@ type metrics struct {
 	skips      atomic.Int64 // steps with z = 0
 	forced     atomic.Int64 // monitor-forced runs
 	stepErrors atomic.Int64
-	stepNanos  atomic.Int64 // total wall time inside stepping
 
 	tracesServed atomic.Int64 // recorded traces fetched by clients
 	replays      atomic.Int64 // replay requests served
 	replayErrors atomic.Int64 // failed replay requests
 	replaySteps  atomic.Int64 // steps re-executed by replays
-	replayNanos  atomic.Int64 // total wall time inside replays
 
 	fleetsCreated atomic.Int64
 	fleetsClosed  atomic.Int64
 	fleetsEvicted atomic.Int64
 
-	fleetTicks     atomic.Int64
-	fleetTickNanos atomic.Int64
-	fleetSteps     atomic.Int64 // session-steps executed by fleet ticks
-	fleetComputes  atomic.Int64
-	fleetSkips     atomic.Int64
-	fleetShed      atomic.Int64
-	fleetForced    atomic.Int64
-	fleetOverrun   atomic.Int64
-	fleetDegraded  atomic.Int64 // computes shed by fault/deadline degradation
+	fleetTicks    atomic.Int64
+	fleetSteps    atomic.Int64 // session-steps executed by fleet ticks
+	fleetComputes atomic.Int64
+	fleetSkips    atomic.Int64
+	fleetShed     atomic.Int64
+	fleetForced   atomic.Int64
+	fleetOverrun  atomic.Int64
+	fleetDegraded atomic.Int64 // computes shed by fault/deadline degradation
 
 	sessionsFrozen   atomic.Int64 // freeze handoffs requested (migration drains)
 	sessionsResumed  atomic.Int64 // sessions imported via POST /v1/sessions/resume
@@ -61,12 +60,43 @@ type metrics struct {
 	recoveredMembers  atomic.Int64 // fleet members resumed by the last journal recovery
 	recoveredSteps    atomic.Int64 // steps replayed (and conformance-verified) by the last recovery
 	recoveryFailed    atomic.Int64 // journaled objects that failed to resume
+
+	// Latency histograms (internal/obs): full distributions replace the
+	// former sum-only counters so tail behavior is visible. stepHist and
+	// tickHist are per *request/tick* (their _count differs from the
+	// per-step oicd_steps_total by design); marginHist records the tick
+	// deadline margin (TickDeadline − elapsed) for deadline-bearing fleets
+	// — negative buckets are overruns. journalAppend/journalSync are fed
+	// from inside the journal writer via Options hooks.
+	stepHist          *obs.Histogram
+	replayHist        *obs.Histogram
+	tickHist          *obs.Histogram
+	marginHist        *obs.Histogram
+	journalAppendHist *obs.Histogram
+	journalSyncHist   *obs.Histogram
+	recoveryPhases    *obs.PhaseHistogram
 }
 
-// observeTick folds one fleet tick into the counters.
-func (m *metrics) observeTick(rep oic.TickReport) {
+// initHists builds the histogram set; New calls it once per server.
+func (m *metrics) initHists() {
+	lat := obs.LatencyBuckets()
+	m.stepHist = obs.NewHistogram("oicd_step_seconds", "step request latency (single or batched)", lat)
+	m.replayHist = obs.NewHistogram("oicd_replay_seconds", "replay request latency", lat)
+	m.tickHist = obs.NewHistogram("oicd_fleet_tick_seconds", "fleet tick latency", lat)
+	m.marginHist = obs.NewHistogram("oicd_fleet_deadline_margin_seconds", "tick deadline margin (TickDeadline - elapsed; negative = overrun)", obs.MarginBuckets())
+	m.journalAppendHist = obs.NewHistogram("oicd_journal_append_seconds", "write-ahead journal append latency", lat)
+	m.journalSyncHist = obs.NewHistogram("oicd_journal_sync_seconds", "write-ahead journal fsync latency", lat)
+	m.recoveryPhases = obs.NewPhaseHistogram("oicd_recovery_phase_seconds", "boot journal recovery phase durations", []string{"scan", "rebuild", "replay"}, lat)
+}
+
+// observeTick folds one fleet tick into the counters and, when the fleet
+// carries a tick deadline, the margin histogram.
+func (m *metrics) observeTick(rep oic.TickReport, deadline time.Duration) {
 	m.fleetTicks.Add(1)
-	m.fleetTickNanos.Add(rep.Elapsed.Nanoseconds())
+	m.tickHist.Observe(rep.Elapsed.Seconds())
+	if deadline > 0 {
+		m.marginHist.Observe((deadline - rep.Elapsed).Seconds())
+	}
 	m.fleetSteps.Add(int64(rep.Sessions))
 	m.fleetComputes.Add(int64(rep.Computes))
 	m.fleetSkips.Add(int64(rep.Skips))
@@ -117,17 +147,15 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 	counter("oicd_skips_total", "steps that skipped the controller (z=0)", m.skips.Load())
 	counter("oicd_forced_total", "runs forced by the safety monitor", m.forced.Load())
 	counter("oicd_step_errors_total", "failed step requests", m.stepErrors.Load())
-	// Seconds-sum + count: avg step latency = sum/oicd_steps_total.
-	fmt.Fprintf(w, "# HELP oicd_step_seconds_sum total wall time inside stepping\n# TYPE oicd_step_seconds_sum counter\noicd_step_seconds_sum %g\n",
-		float64(m.stepNanos.Load())/1e9)
+	// Full latency distribution (histogram _sum/_count subsume the former
+	// *_seconds_sum counters).
+	m.stepHist.Write(w)
 
 	counter("oicd_traces_served_total", "recorded session traces fetched", m.tracesServed.Load())
 	counter("oicd_replays_total", "trace replays served", m.replays.Load())
 	counter("oicd_replay_errors_total", "failed replay requests", m.replayErrors.Load())
 	counter("oicd_replay_steps_total", "steps re-executed by replays", m.replaySteps.Load())
-	// Seconds-sum + count: avg replay latency = sum/oicd_replays_total.
-	fmt.Fprintf(w, "# HELP oicd_replay_seconds_sum total wall time inside replays\n# TYPE oicd_replay_seconds_sum counter\noicd_replay_seconds_sum %g\n",
-		float64(m.replayNanos.Load())/1e9)
+	m.replayHist.Write(w)
 
 	counter("oicd_fleets_created_total", "fleets created", m.fleetsCreated.Load())
 	counter("oicd_fleets_closed_total", "fleets closed by clients", m.fleetsClosed.Load())
@@ -140,9 +168,8 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 	counter("oicd_fleet_forced_total", "monitor-forced computes inside fleet ticks", m.fleetForced.Load())
 	counter("oicd_fleet_overrun_total", "forced computes beyond the per-tick budget", m.fleetOverrun.Load())
 	counter("oicd_fleet_degraded_total", "computes shed into certified-safe skips by fault or deadline degradation", m.fleetDegraded.Load())
-	// Seconds-sum + count: avg tick latency = sum/oicd_fleet_ticks_total.
-	fmt.Fprintf(w, "# HELP oicd_fleet_tick_seconds_sum total wall time inside fleet ticks\n# TYPE oicd_fleet_tick_seconds_sum counter\noicd_fleet_tick_seconds_sum %g\n",
-		float64(m.fleetTickNanos.Load())/1e9)
+	m.tickHist.Write(w)
+	m.marginHist.Write(w)
 
 	counter("oicd_sessions_frozen_total", "sessions frozen for migration handoff", m.sessionsFrozen.Load())
 	counter("oicd_sessions_resumed_total", "sessions imported from exported episodes (migration/failover landings)", m.sessionsResumed.Load())
@@ -154,6 +181,8 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 	counter("oicd_journal_rotations_total", "write-ahead journal segments opened", js.Rotations)
 	counter("oicd_journal_bytes_total", "write-ahead journal bytes written", js.Bytes)
 	counter("oicd_journal_errors_total", "journal appends or syncs that failed (durability degraded, requests unaffected)", m.journalErrors.Load())
+	m.journalAppendHist.Write(w)
+	m.journalSyncHist.Write(w)
 	counter("oicd_journal_torn_tails_total", "segments truncated at a torn tail by the last recovery", m.journalTornTails.Load())
 	counter("oicd_journal_orphans_total", "journal records referencing unknown ids in the last recovery", m.journalOrphans.Load())
 	counter("oicd_recovered_sessions_total", "sessions resumed by the last journal recovery", m.recoveredSessions.Load())
@@ -161,6 +190,8 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 	counter("oicd_recovered_members_total", "fleet members resumed by the last journal recovery", m.recoveredMembers.Load())
 	counter("oicd_recovered_steps_total", "steps replayed and conformance-verified by the last recovery", m.recoveredSteps.Load())
 	counter("oicd_recovery_failed_total", "journaled objects that failed to resume", m.recoveryFailed.Load())
+	m.recoveryPhases.Write(w)
+	obs.WriteRuntimeMetrics(w)
 	if len(fleets) > 0 {
 		fleetGaugeF("oicd_fleet_sessions", "live members per fleet",
 			func(st oic.FleetStats) float64 { return float64(st.Sessions) })

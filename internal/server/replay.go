@@ -130,6 +130,6 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.replays.Add(1)
 	s.m.replaySteps.Add(int64(rep.Diff.Steps))
-	s.m.replayNanos.Add(rep.Elapsed.Nanoseconds())
+	s.m.replayHist.Observe(rep.Elapsed.Seconds())
 	writeJSON(w, http.StatusOK, rep)
 }

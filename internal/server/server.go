@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -32,6 +33,7 @@ import (
 
 	"oic/internal/fault"
 	"oic/internal/journal"
+	"oic/internal/obs"
 	"oic/pkg/oic"
 )
 
@@ -62,6 +64,8 @@ type Config struct {
 	TraceLimit int
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
+	// Logger receives structured request/operation logs; nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -141,17 +148,26 @@ type Server struct {
 
 	stopJanitor chan struct{}
 	janitorWG   sync.WaitGroup
+
+	// log is the structured logger (never nil — NopLogger by default);
+	// ops retains recent multi-phase operation spans for /v1/debug/ops.
+	log *slog.Logger
+	ops *obs.SpanRing
 }
 
 // New returns a server; call Handler for its http.Handler and Close on
 // shutdown.
 func New(cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		cfg:      cfg.withDefaults(),
 		engines:  map[string]*engineSlot{},
 		sessions: map[string]*session{},
 		fleets:   map[string]*fleetEntry{},
+		ops:      obs.NewSpanRing(64),
 	}
+	s.log = s.cfg.Logger.With("component", "oicd")
+	s.m.initHists()
+	return s
 }
 
 // Handler returns the route table.
@@ -179,10 +195,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/fleets/{id}/sessions/{mid}", s.handleFleetMemberGet)
 	mux.HandleFunc("GET /v1/fleets/{id}/sessions/{mid}/trace", s.handleFleetMemberTrace)
 	mux.HandleFunc("DELETE /v1/fleets/{id}/sessions/{mid}", s.handleFleetMemberDelete)
+	mux.HandleFunc("GET /v1/debug/ops", s.handleDebugOps)
+	var h http.Handler = mux
 	if s.cfg.RequestTimeout > 0 {
-		return s.withRequestTimeout(mux)
+		h = s.withRequestTimeout(h)
 	}
-	return mux
+	// Trace middleware goes outermost so every handler (and the timeout
+	// wrapper's context) sees the request's trace ID.
+	return s.withTrace(h)
+}
+
+// withTrace adopts the caller's X-Oic-Trace-Id (minted by oicd-router on
+// proxied calls) or mints one for direct hits, attaches it to the request
+// context and the response header, and logs request completion with it so
+// one trace ID correlates router and shard logs.
+func (s *Server) withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.TraceHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(obs.WithTraceID(r.Context(), id)))
+		s.log.Debug("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "elapsed", time.Since(start), "trace_id", id)
+	})
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handleDebugOps serves the recent multi-phase operation spans (newest
+// first): migrations landed here, failover landings, boot recovery.
+func (s *Server) handleDebugOps(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"spans": s.ops.Snapshot()})
 }
 
 // withRequestTimeout bounds each request's context. Handlers that respect
@@ -651,7 +708,7 @@ func (s *Server) observeSteps(results []oic.StepResult, start time.Time) {
 	}
 	elapsed := s.cfg.Now().Sub(start)
 	s.m.steps.Add(int64(len(results)))
-	s.m.stepNanos.Add(elapsed.Nanoseconds())
+	s.m.stepHist.Observe(elapsed.Seconds())
 	var skips, forced int64
 	for _, r := range results {
 		if r.Error != "" {
@@ -746,7 +803,13 @@ func statusForStepErr(err error) int {
 
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	st, code := statusAndCode(err)
-	writeJSON(w, st, oic.ErrorResponse{Error: err.Error(), Code: code})
+	// The trace middleware stamped the response header before the handler
+	// ran; echoing it here puts the trace ID in every error body without
+	// threading a context through every fail call site.
+	writeJSON(w, st, oic.ErrorResponse{
+		Error: err.Error(), Code: code,
+		TraceID: w.Header().Get(obs.TraceHeader),
+	})
 }
 
 func decodeJSON(r *http.Request, dst any) error {

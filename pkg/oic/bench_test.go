@@ -4,8 +4,10 @@ import (
 	"context"
 	"runtime"
 	"testing"
+	"time"
 
 	"oic/internal/journal"
+	"oic/internal/obs"
 )
 
 // BenchmarkSessionStep measures one facade step on the RMPC hot path
@@ -29,6 +31,39 @@ func BenchmarkSessionStep(b *testing.B) {
 		if _, err := s.Step(ctx, w[0]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSessionStepInstrumented is BenchmarkSessionStep plus exactly
+// the observability the oicd server adds per step: one latency-histogram
+// Observe, mirroring internal/server's observeSteps. The CI gate holds
+// ns/op here within 1.05× of the bare BenchmarkSessionStep, pinning the
+// instrumentation tax near zero.
+func BenchmarkSessionStepInstrumented(b *testing.B) {
+	e := accEngine(b)
+	x0, w, err := e.DrawCase(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := e.NewSession(x0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	hist := obs.NewHistogram("bench_step_seconds", "instrumented step latency", obs.LatencyBuckets())
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := s.Step(ctx, w[0]); err != nil {
+			b.Fatal(err)
+		}
+		hist.Observe(time.Since(start).Seconds())
+	}
+	b.StopTimer()
+	if got := hist.Count(); got != uint64(b.N) {
+		b.Fatalf("histogram count %d, want %d", got, b.N)
 	}
 }
 

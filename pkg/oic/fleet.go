@@ -281,6 +281,10 @@ type TickReport struct {
 	Errors []FleetStepError `json:"errors,omitempty"`
 
 	Elapsed time.Duration `json:"elapsed_ns"` // wall time of the whole tick
+	// DeadlineMargin is TickDeadline − Elapsed for deadline-bearing fleets
+	// (zero when no deadline is configured). Negative means the tick
+	// overran — the raw signal an elastic-budget controller regulates on.
+	DeadlineMargin time.Duration `json:"deadline_margin_ns,omitempty"`
 }
 
 // Tick advances every member one control period. ws carries this tick's
@@ -368,6 +372,9 @@ func (f *Fleet) Tick(ctx context.Context, ws map[int][]float64) (TickReport, err
 	f.stats.Overrun += int64(st.Overrun)
 	f.stats.Degraded += int64(st.Degraded)
 	rep.Elapsed = time.Since(start)
+	if f.cfg.TickDeadline > 0 {
+		rep.DeadlineMargin = f.cfg.TickDeadline - rep.Elapsed
+	}
 	f.tickTime += rep.Elapsed
 	return rep, nil
 }

@@ -209,4 +209,10 @@ type FleetResumeMemberRequest struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"` // bad_request | not_found | unsafe | infeasible | session_closed | capacity
+	// TraceID echoes the request's X-Oic-Trace-Id so a failing client can
+	// quote the exact ID that correlates router and shard logs.
+	TraceID string `json:"trace_id,omitempty"`
+	// Node names the shard that produced (or failed to produce) the
+	// response when the error passed through oicd-router.
+	Node string `json:"node,omitempty"`
 }
