@@ -11,7 +11,11 @@
 //	oic sets    — the safety sets X ⊇ XI ⊇ X′ (Fig. 1)
 //	oic budget  — the multi-step strengthened sets S_k (weakly-hard extension)
 //	oic fleet   — sweep fleet sizes against a per-tick compute budget and
-//	              report the achievable sessions-per-core curve (DESIGN.md §7)
+//	              report the achievable sessions-per-core curve (DESIGN.md §7);
+//	              with -elastic, run the largest size continuously under the
+//	              deadline-margin budget controller against an injected
+//	              CPU-noise phase and compare with the static budget
+//	              (DESIGN.md §13)
 //	oic record  — run one seeded episode with tracing on and write the
 //	              trace file (-out; canonical binary, or JSON with -trace-json)
 //	oic replay  — replay a recorded trace file (-trace) under the same or a
@@ -54,9 +58,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"oic/internal/exp"
+	"oic/internal/fault"
 	"oic/internal/journal"
 	"oic/internal/plant"
 	"oic/internal/reach"
@@ -82,6 +88,8 @@ func main() {
 	fleetTicks := fs.Int("ticks", 50, "fleet: ticks per fleet run")
 	fleetSizes := fs.String("fleet-sizes", "250,500,1000,2000", "fleet: comma-separated fleet sizes to sweep")
 	deadline := fs.Duration("deadline", 100*time.Millisecond, "fleet: real-time tick deadline (the plant's control period)")
+	elasticRun := fs.Bool("elastic", false, "fleet: continuous elastic-budget run on the largest -fleet-sizes entry against an injected CPU-noise phase, compared with the static budget (DESIGN.md §13)")
+	noiseRate := fs.Float64("noise", 0.8, "fleet -elastic: probability each middle-third tick carries injected CPU noise (fault site sched.noise)")
 	policy := fs.String("policy", oic.PolicyBangBang, "record: skipping policy (always-run, bang-bang, drl)")
 	scenario := fs.String("scenario", "", "record: scenario ID (empty = plant headline)")
 	outFile := fs.String("out", "", "record: trace output file")
@@ -492,6 +500,253 @@ func main() {
 		}, b.String())
 	}
 
+	// doFleetElastic runs one large fleet continuously under the
+	// elastic-budget controller (DESIGN.md §13) with a CPU-noise phase in
+	// the middle third of the run — noisy ticks chosen by the seeded fault
+	// injector (site sched.noise), so the disturbance schedule is identical
+	// across both runs — then repeats the same workload under the static
+	// budget and compares. The claim under test: the controller holds the
+	// deadline margin ≥ 0 through the disturbance by shrinking the budget,
+	// hands the compute back afterwards, and never sheds a forced compute,
+	// so safety stays Theorem 1's (violations = 0).
+	doFleetElastic := func() error {
+		eng, err := headlineEngine()
+		if err != nil {
+			return err
+		}
+		size := 0
+		for _, tok := range strings.Split(*fleetSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -fleet-sizes entry %q", tok)
+			}
+			if n > size {
+				size = n
+			}
+		}
+		ticks := *fleetTicks
+		if ticks < 6 {
+			ticks = 6
+		}
+		noiseFrom, noiseTo := ticks/3, 2*ticks/3
+
+		// The shared disturbance schedule: both runs burn CPU on exactly
+		// the same ticks, decided once up front by the seeded injector.
+		noisy := make([]bool, ticks)
+		noisyCount := 0
+		inj := fault.New(*seed)
+		inj.Enable(fault.SiteSchedNoise, *noiseRate)
+		for tk := noiseFrom; tk < noiseTo; tk++ {
+			if inj.Hit(fault.SiteSchedNoise) != nil {
+				noisy[tk] = true
+				noisyCount++
+			}
+		}
+
+		// burnStart spins half the cores until stop closes — the co-tenant
+		// stealing CPU from the scheduler's worker pool during a noisy tick.
+		spinners := runtime.NumCPU() / 2
+		if spinners < 1 {
+			spinners = 1
+		}
+		burnStart := func() (chan struct{}, *sync.WaitGroup) {
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < spinners; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					x := uint64(1)
+					for {
+						select {
+						case <-stop:
+							runtime.KeepAlive(x)
+							return
+						default:
+						}
+						for i := 0; i < 1<<14; i++ {
+							x = x*2862933555777941757 + 3037000493
+						}
+					}
+				}()
+			}
+			return stop, &wg
+		}
+
+		type phaseDoc struct {
+			Phase      string  `json:"phase"`
+			Ticks      int     `json:"ticks"`
+			MarginOK   float64 `json:"margin_ok"` // fraction of ticks with deadline margin ≥ 0
+			MinBudget  int     `json:"min_budget"`
+			MeanBudget float64 `json:"mean_budget"`
+			MaxBudget  int     `json:"max_budget"`
+			Shed       int     `json:"shed"`
+			Degraded   int     `json:"degraded"`
+		}
+		type runDoc struct {
+			Mode                 string     `json:"mode"`
+			Phases               []phaseDoc `json:"phases"`
+			MarginOK             float64    `json:"margin_ok"`
+			Violations           int        `json:"violations"`
+			BudgetRaises         int64      `json:"budget_raises,omitempty"`
+			BudgetLowers         int64      `json:"budget_lowers,omitempty"`
+			BudgetFloors         int64      `json:"budget_floors,omitempty"`
+			EffectiveMaxSessions int        `json:"effective_max_sessions,omitempty"`
+		}
+		phaseNames := [3]string{"calm", "noise", "calm"}
+		phaseOf := func(tk int) int {
+			switch {
+			case tk < noiseFrom:
+				return 0
+			case tk < noiseTo:
+				return 1
+			default:
+				return 2
+			}
+		}
+
+		runOnce := func(elastic bool) (runDoc, error) {
+			cfg := oic.FleetConfig{ComputeBudget: *fleetBudget, MaxSessions: size, TickDeadline: *deadline}
+			doc := runDoc{Mode: "static"}
+			if elastic {
+				min := *fleetBudget / 4
+				if min < 1 {
+					min = 1
+				}
+				cfg.Elastic = &oic.ElasticConfig{MinBudget: min, MaxBudget: *fleetBudget * 2}
+				doc.Mode = "elastic"
+			}
+			f, err := eng.NewFleet(cfg)
+			if err != nil {
+				return doc, err
+			}
+			defer f.Close()
+			ids := make([]int, size)
+			traces := make([][][]float64, size)
+			for i := 0; i < size; i++ {
+				x0, w, err := eng.DrawCase(*seed+int64(i), ticks)
+				if err != nil {
+					return doc, err
+				}
+				if ids[i], err = f.Admit(x0); err != nil {
+					return doc, err
+				}
+				traces[i] = w
+			}
+			var phases [3]phaseDoc
+			marginOK := make([]int, 3)
+			for ph := range phases {
+				phases[ph].Phase = phaseNames[ph]
+				phases[ph].MinBudget = int(^uint(0) >> 1)
+			}
+			okTotal, counted := 0, 0
+			ctx := context.Background()
+			for tk := 0; tk < ticks; tk++ {
+				ws := make(map[int][]float64, size)
+				for i, id := range ids {
+					ws[id] = traces[i][tk]
+				}
+				var stop chan struct{}
+				var wg *sync.WaitGroup
+				if noisy[tk] {
+					stop, wg = burnStart()
+				}
+				rep, err := f.Tick(ctx, ws)
+				if noisy[tk] {
+					close(stop)
+					wg.Wait()
+				}
+				if err != nil {
+					return doc, err
+				}
+				// Tick 0 pays every member's one-time cold κ solve; like the
+				// sweep, it is excluded from the statistics — the controller
+				// question is about steady state.
+				if tk == 0 && ticks > 1 {
+					continue
+				}
+				ph := &phases[phaseOf(tk)]
+				ph.Ticks++
+				counted++
+				if rep.DeadlineMargin >= 0 {
+					marginOK[phaseOf(tk)]++
+					okTotal++
+				}
+				if rep.Budget < ph.MinBudget {
+					ph.MinBudget = rep.Budget
+				}
+				if rep.Budget > ph.MaxBudget {
+					ph.MaxBudget = rep.Budget
+				}
+				ph.MeanBudget += float64(rep.Budget)
+				ph.Shed += rep.Shed
+				ph.Degraded += rep.Degraded
+			}
+			for ph := range phases {
+				if phases[ph].Ticks > 0 {
+					phases[ph].MarginOK = float64(marginOK[ph]) / float64(phases[ph].Ticks)
+					phases[ph].MeanBudget /= float64(phases[ph].Ticks)
+				} else {
+					phases[ph].MinBudget = 0
+				}
+			}
+			doc.Phases = phases[:]
+			if counted > 0 {
+				doc.MarginOK = float64(okTotal) / float64(counted)
+			}
+			st := f.Stats()
+			doc.Violations = st.Violations
+			doc.BudgetRaises = st.BudgetRaises
+			doc.BudgetLowers = st.BudgetLowers
+			doc.BudgetFloors = st.BudgetFloors
+			doc.EffectiveMaxSessions = st.EffectiveMaxSessions
+			return doc, nil
+		}
+
+		elasticDoc, err := runOnce(true)
+		if err != nil {
+			return err
+		}
+		staticDoc, err := runOnce(false)
+		if err != nil {
+			return err
+		}
+
+		var b strings.Builder
+		loBudget := *fleetBudget / 4
+		if loBudget < 1 {
+			loBudget = 1
+		}
+		fmt.Fprintf(&b, "fleet elastic run on plant %q: %d sessions, %d ticks, deadline %v, budget %d (elastic %d..%d)\n",
+			p.Name(), size, ticks, *deadline, *fleetBudget, loBudget, *fleetBudget*2)
+		fmt.Fprintf(&b, "CPU noise: ticks %d..%d at rate %.2f → %d noisy ticks, %d spinner cores (fault site %s, seed %d)\n",
+			noiseFrom, noiseTo-1, *noiseRate, noisyCount, spinners, fault.SiteSchedNoise, *seed)
+		fmt.Fprintf(&b, "(tick 0 pays the one-time cold solves and is excluded)\n")
+		fmt.Fprintf(&b, "%-8s %-6s %6s %9s %22s %8s %9s\n",
+			"mode", "phase", "ticks", "margin≥0", "budget min/mean/max", "shed", "degraded")
+		for _, doc := range []runDoc{elasticDoc, staticDoc} {
+			for _, ph := range doc.Phases {
+				fmt.Fprintf(&b, "%-8s %-6s %6d %8.1f%% %8d/%6.1f/%5d %8d %9d\n",
+					doc.Mode, ph.Phase, ph.Ticks, 100*ph.MarginOK,
+					ph.MinBudget, ph.MeanBudget, ph.MaxBudget, ph.Shed, ph.Degraded)
+			}
+		}
+		fmt.Fprintf(&b, "elastic: margin ≥ 0 on %.1f%% of ticks, %d violations; raises %d, lowers %d, floors %d; admission cap %d/%d\n",
+			100*elasticDoc.MarginOK, elasticDoc.Violations,
+			elasticDoc.BudgetRaises, elasticDoc.BudgetLowers, elasticDoc.BudgetFloors,
+			elasticDoc.EffectiveMaxSessions, size)
+		fmt.Fprintf(&b, "static:  margin ≥ 0 on %.1f%% of ticks, %d violations\n",
+			100*staticDoc.MarginOK, staticDoc.Violations)
+		return emit(map[string]any{
+			"kind": "fleet-elastic", "plant": p.Name(),
+			"sessions": size, "ticks": ticks,
+			"deadline_ms":    float64(deadline.Nanoseconds()) / 1e6,
+			"compute_budget": *fleetBudget,
+			"noise_rate":     *noiseRate, "noisy_ticks": noisyCount,
+			"runs": []runDoc{elasticDoc, staticDoc},
+		}, b.String())
+	}
+
 	// doRecord runs one seeded episode with tracing on and writes the
 	// trace file — the producer side of the replay service, and the same
 	// recipe the golden-trace corpus uses.
@@ -627,7 +882,11 @@ func main() {
 	case "budget":
 		run("budget", doBudget)
 	case "fleet":
-		run("fleet", doFleetSweep)
+		if *elasticRun {
+			run("fleet -elastic", doFleetElastic)
+		} else {
+			run("fleet", doFleetSweep)
+		}
 	case "record":
 		run("record", doRecord)
 	case "export":

@@ -43,6 +43,12 @@ const (
 	// graceful degradation (optional computes shed to guaranteed-safe
 	// skips; forced computes fail loudly).
 	SiteSchedCompute = "sched.compute"
+	// SiteSchedNoise is consulted once per fleet tick by load drivers
+	// (oic fleet -elastic) to decide whether to burn CPU alongside that
+	// tick — the deterministic co-tenant disturbance the elastic-budget
+	// controller is evaluated against. The runtime never injects an error
+	// here; a Hit that fires simply marks the tick noisy.
+	SiteSchedNoise = "sched.noise"
 )
 
 // ErrInjected is the sentinel every injected failure wraps
@@ -230,6 +236,7 @@ var knownSites = map[string]bool{
 	SiteJournalAppend: true,
 	SiteJournalSync:   true,
 	SiteSchedCompute:  true,
+	SiteSchedNoise:    true,
 }
 
 // Parse builds an injector from the oicd -fault flag syntax: a

@@ -147,12 +147,20 @@ func planInto(dec []Decision, budget int, acts []Action, scratch []int) (PlanSta
 			continue
 		}
 		acts[i] = Shed
-		if st.Shed == 0 || dec[i].Budget < st.ShedBudgetMin {
-			st.ShedBudgetMin = dec[i].Budget
-		}
-		st.Shed++
+		shedOne(&st, dec[i].Budget)
 	}
 	return st, opt
+}
+
+// shedOne folds one safe shed into the aggregate: the Shed count and the
+// running minimum of shed members' remaining skip budgets. Shared by the
+// plan's budget overflow and the fault/deadline degradation passes, so a
+// degraded member is accounted exactly like a planned shed.
+func shedOne(st *PlanStats, budget int) {
+	if st.Shed == 0 || budget < st.ShedBudgetMin {
+		st.ShedBudgetMin = budget
+	}
+	st.Shed++
 }
 
 // Member is one schedulable closed-loop session.
@@ -198,8 +206,12 @@ type TickStats struct {
 	Errors int // members whose Step failed (terminal κ errors)
 	// Degraded counts planned computes downgraded to guaranteed-safe
 	// sheds by an injected solver fault or a tick-deadline overrun.
-	// PlanStats.Computes still reports the *planned* computes; the
-	// executed count is Computes − Degraded.
+	// Degraded members are budget-forced safe skips, so they count in
+	// PlanStats.Shed (and ShedBudgetMin) exactly like planned sheds:
+	// Degraded ⊆ Shed. PlanStats.Computes still reports the *planned*
+	// computes; the executed count is Computes − Degraded, and the lane
+	// counters sum to Members + Degraded (each degraded member appears in
+	// both its planned lane and the shed lane).
 	Degraded   int
 	DecideTime time.Duration // wall time of the decide phase
 	StepTime   time.Duration // wall time of the step phase
@@ -213,6 +225,7 @@ type Scheduler struct {
 	dec     []Decision
 	acts    []Action
 	errs    []error
+	late    []bool // per-member deadline-degradation marks, index-addressed
 	scratch []int
 }
 
@@ -222,6 +235,11 @@ func New(cfg Config) *Scheduler { return &Scheduler{cfg: cfg} }
 // Config returns the scheduler's configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
 
+// SetComputeBudget retunes the per-tick compute budget; it takes effect
+// on the next Tick. This is the elastic-budget control input: budget is
+// per-tick state, not frozen configuration.
+func (s *Scheduler) SetComputeBudget(n int) { s.cfg.ComputeBudget = n }
+
 // Tick runs one scheduling round: decide everything, plan against the
 // budget, step everything. On context cancellation between phases the tick
 // aborts before its step phase, leaving every member unstepped; a tick
@@ -229,6 +247,15 @@ func (s *Scheduler) Config() Config { return s.cfg }
 // After Tick returns, Actions and Errs expose the per-member outcome until
 // the next Tick.
 func (s *Scheduler) Tick(ctx context.Context, members []Member) (TickStats, error) {
+	return s.TickFrom(ctx, members, time.Now())
+}
+
+// TickFrom is Tick with an externally supplied tick-start timestamp: the
+// deadline clock. A caller that reports a deadline margin measured from
+// its own entry point (Fleet.Tick does) passes that instant here, so the
+// shedding decision and the reported margin share one clock origin
+// instead of disagreeing by the caller's validation/staging time.
+func (s *Scheduler) TickFrom(ctx context.Context, members []Member, start time.Time) (TickStats, error) {
 	n := len(members)
 	s.grow(n)
 	st := TickStats{Members: n}
@@ -245,9 +272,11 @@ func (s *Scheduler) Tick(ctx context.Context, members []Member) (TickStats, erro
 	// Synthetic solver faults, applied serially in index order so the
 	// seeded injector degrades the same members every run. Forced
 	// computes (and optional ones with no skip chain left) fail loudly
-	// via the member's error slot; safe ones shed.
+	// via the member's error slot; safe ones shed — and a degraded
+	// member is a budget-forced safe skip, so it is accounted as one.
 	for i := range s.errs[:n] {
 		s.errs[i] = nil
+		s.late[i] = false
 	}
 	if s.cfg.Faults != nil {
 		for i := 0; i < n; i++ {
@@ -258,6 +287,7 @@ func (s *Scheduler) Tick(ctx context.Context, members []Member) (TickStats, erro
 				if !s.dec[i].Forced && s.dec[i].Budget > 0 {
 					s.acts[i] = Shed
 					st.Degraded++
+					shedOne(&st.PlanStats, s.dec[i].Budget)
 				} else {
 					s.errs[i] = err
 				}
@@ -269,26 +299,30 @@ func (s *Scheduler) Tick(ctx context.Context, members []Member) (TickStats, erro
 		return st, err
 	}
 	t1 := time.Now()
-	var lateDeg atomic.Int64
 	s.fanOut(n, func(i int) {
 		if s.errs[i] != nil {
 			return // failed loudly at the fault pass; never stepped
 		}
 		compute := s.acts[i] == Compute
 		if compute && s.cfg.TickDeadline > 0 && !s.dec[i].Forced && s.dec[i].Budget > 0 &&
-			time.Since(t0) > s.cfg.TickDeadline {
+			time.Since(start) > s.cfg.TickDeadline {
 			// Over deadline: this optional compute's skip is still
-			// certified safe, so reclaim its κ time.
+			// certified safe, so reclaim its κ time. Marked in an
+			// index-addressed slot; the serial pass below folds the
+			// marks into the shed aggregate.
 			s.acts[i] = Shed
 			compute = false
-			lateDeg.Add(1)
+			s.late[i] = true
 		}
 		s.errs[i] = members[i].Step(compute)
 	})
-	st.Degraded += int(lateDeg.Load())
 	st.StepTime = time.Since(t1)
-	for _, err := range s.errs[:n] {
-		if err != nil {
+	for i := 0; i < n; i++ {
+		if s.late[i] {
+			st.Degraded++
+			shedOne(&st.PlanStats, s.dec[i].Budget)
+		}
+		if s.errs[i] != nil {
 			st.Errors++
 		}
 	}
@@ -309,10 +343,12 @@ func (s *Scheduler) grow(n int) {
 		s.dec = make([]Decision, n)
 		s.acts = make([]Action, n)
 		s.errs = make([]error, n)
+		s.late = make([]bool, n)
 	}
 	s.dec = s.dec[:n]
 	s.acts = s.acts[:n]
 	s.errs = s.errs[:n]
+	s.late = s.late[:n]
 }
 
 func (s *Scheduler) fanOut(n int, fn func(int)) { FanOut(n, s.cfg.Workers, fn) }

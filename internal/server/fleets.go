@@ -85,7 +85,44 @@ func validateFleetCreate(req *oic.CreateFleetRequest) error {
 	if req.TickDeadline < 0 {
 		return badRequest("tick_deadline_ns must be ≥ 0")
 	}
+	if el := req.Elastic; el != nil {
+		if req.TickDeadline == 0 {
+			return badRequest("elastic requires tick_deadline_ns > 0")
+		}
+		if el.MinBudget < 0 {
+			return badRequest("elastic.min_budget must be ≥ 0")
+		}
+		if el.MaxBudget < 1 || el.MaxBudget > maxFleetSessions {
+			return badRequest(fmt.Sprintf("elastic.max_budget %d outside [1, %d]", el.MaxBudget, maxFleetSessions))
+		}
+		if el.MinBudget > el.MaxBudget {
+			return badRequest(fmt.Sprintf("elastic.min_budget %d > max_budget %d", el.MinBudget, el.MaxBudget))
+		}
+		if el.TargetMargin < 0 || el.TargetMargin >= req.TickDeadline {
+			return badRequest("elastic.target_margin_ns must be in [0, tick_deadline_ns)")
+		}
+	}
 	return nil
+}
+
+// defaultElastic derives the -elastic default bounds for a fleet that
+// opted into a tick deadline and a finite budget but no explicit elastic
+// config: the controller may shed down to a quarter of — or grow to 4× —
+// the requested budget, regulating to the NewFleet default target margin
+// (TickDeadline/5).
+func defaultElastic(req *oic.CreateFleetRequest) *oic.ElasticConfig {
+	if req.TickDeadline <= 0 || req.ComputeBudget <= 0 {
+		return nil
+	}
+	min := req.ComputeBudget / 4
+	if min < 1 {
+		min = 1
+	}
+	max := req.ComputeBudget * 4
+	if max > maxFleetSessions {
+		max = maxFleetSessions
+	}
+	return &oic.ElasticConfig{MinBudget: min, MaxBudget: max}
 }
 
 func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
@@ -132,12 +169,17 @@ func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	elastic := req.Elastic
+	if elastic == nil && s.cfg.ElasticDefaults {
+		elastic = defaultElastic(&req)
+	}
 	fleet, err := eng.NewFleet(oic.FleetConfig{
 		ComputeBudget: req.ComputeBudget,
 		Workers:       req.Workers,
 		MaxSessions:   req.MaxSessions,
 		Degrade:       req.Degrade,
 		TickDeadline:  req.TickDeadline,
+		Elastic:       elastic,
 		Trace:         req.Trace,
 		TraceLimit:    s.cfg.TraceLimit,
 	})

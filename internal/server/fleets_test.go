@@ -203,6 +203,118 @@ func TestFleetEviction(t *testing.T) {
 	}
 }
 
+func TestFleetElasticOverHTTP(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+
+	// Validation of the elastic wire fields.
+	bad := []oic.CreateFleetRequest{
+		{Plant: "acc", Elastic: &oic.ElasticConfig{MaxBudget: 8}}, // no deadline
+		{Plant: "acc", TickDeadline: time.Second, Elastic: &oic.ElasticConfig{}},
+		{Plant: "acc", TickDeadline: time.Second, Elastic: &oic.ElasticConfig{MinBudget: 9, MaxBudget: 8}},
+		{Plant: "acc", TickDeadline: time.Second, Elastic: &oic.ElasticConfig{MaxBudget: 8, TargetMargin: time.Second}},
+		{Plant: "acc", TickDeadline: time.Second, Elastic: &oic.ElasticConfig{MaxBudget: maxFleetSessions + 1}},
+	}
+	for i, req := range bad {
+		var er oic.ErrorResponse
+		if st := c.do("POST", "/v1/fleets", req, &er); st != http.StatusBadRequest {
+			t.Errorf("bad elastic %d: status %d, want 400 (%+v)", i, st, er)
+		}
+	}
+
+	var fi oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+		Plant: "acc", Policy: oic.PolicyAlwaysRun,
+		ComputeBudget: 2, Size: 8, Seed: 1, MaxSessions: 16,
+		TickDeadline: time.Second,
+		Elastic:      &oic.ElasticConfig{MinBudget: 2, MaxBudget: 6, TargetMargin: 100 * time.Millisecond},
+	}, &fi); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	var tr oic.FleetTickResponse
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/tick", oic.FleetTickRequest{Ticks: 8}, &tr); st != http.StatusOK {
+		t.Fatalf("tick: status %d", st)
+	}
+	for i, rep := range tr.Reports {
+		if rep.Violations != 0 {
+			t.Fatalf("report %d: %d violations", i, rep.Violations)
+		}
+		if rep.NextBudget < 2 && rep.NextBudget < rep.Forced {
+			t.Fatalf("report %d: NextBudget %d below bounds and floor", i, rep.NextBudget)
+		}
+		if rep.EffectiveMaxSessions < 8 || rep.EffectiveMaxSessions > 24 {
+			t.Fatalf("report %d: EffectiveMaxSessions %d outside [½, 3/2]×16", i, rep.EffectiveMaxSessions)
+		}
+	}
+	var snap oic.FleetInfo
+	if st := c.do("GET", "/v1/fleets/"+fi.ID, nil, &snap); st != http.StatusOK {
+		t.Fatalf("get: status %d", st)
+	}
+	// Test-box margins dwarf the 1s deadline, so the loop must have grown
+	// the budget to its cap.
+	if snap.Budget != 6 {
+		t.Fatalf("snapshot budget %d, want MaxBudget 6 under huge margins", snap.Budget)
+	}
+	if snap.BudgetRaises == 0 || snap.EffectiveMaxSessions == 0 {
+		t.Fatalf("controller stats missing from snapshot: %+v", snap.FleetStats)
+	}
+
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"oicd_fleet_budget{fleet=",
+		"oicd_fleet_effective_sessions{fleet=",
+		"oicd_fleet_budget_raises_total{fleet=",
+		"oicd_fleet_budget_lowers_total{fleet=",
+		"oicd_fleet_budget_floors_total{fleet=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestFleetElasticDefaults(t *testing.T) {
+	_, c := newTestServer(t, Config{ElasticDefaults: true})
+
+	// Deadline + finite budget, no explicit elastic → server defaults in.
+	var fi oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+		Plant: "acc", ComputeBudget: 8, Size: 4, Seed: 1, TickDeadline: time.Second,
+	}, &fi); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	var tr oic.FleetTickResponse
+	if st := c.do("POST", "/v1/fleets/"+fi.ID+"/tick", oic.FleetTickRequest{Ticks: 1}, &tr); st != http.StatusOK {
+		t.Fatalf("tick: status %d", st)
+	}
+	if tr.Reports[0].NextBudget == 0 {
+		t.Fatalf("-elastic default did not engage the controller: %+v", tr.Reports[0])
+	}
+
+	// No deadline → stays static even under -elastic.
+	var fi2 oic.FleetInfo
+	if st := c.do("POST", "/v1/fleets", oic.CreateFleetRequest{
+		Plant: "acc", ComputeBudget: 8, Size: 4, Seed: 1,
+	}, &fi2); st != http.StatusCreated {
+		t.Fatalf("create static: status %d", st)
+	}
+	var tr2 oic.FleetTickResponse
+	if st := c.do("POST", "/v1/fleets/"+fi2.ID+"/tick", oic.FleetTickRequest{Ticks: 1}, &tr2); st != http.StatusOK {
+		t.Fatalf("tick static: status %d", st)
+	}
+	if tr2.Reports[0].NextBudget != 0 {
+		t.Fatalf("deadline-less fleet became elastic: %+v", tr2.Reports[0])
+	}
+}
+
 func TestFleetMetricsExposition(t *testing.T) {
 	_, c := newTestServer(t, Config{})
 	var fi oic.FleetInfo

@@ -193,6 +193,14 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 	m.recoveryPhases.Write(w)
 	obs.WriteRuntimeMetrics(w)
 	if len(fleets) > 0 {
+		// fleetCounterF emits one labeled cumulative counter per live fleet
+		// (monotone per fleet lifetime, like the controller decision counts).
+		fleetCounterF := func(name, help string, v func(oic.FleetStats) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, fg := range fleets {
+				fmt.Fprintf(w, "%s{fleet=%q} %d\n", name, fg.id, v(fg.stats))
+			}
+		}
 		fleetGaugeF("oicd_fleet_sessions", "live members per fleet",
 			func(st oic.FleetStats) float64 { return float64(st.Sessions) })
 		fleetGaugeF("oicd_fleet_utilization", "mean computes per tick / compute budget",
@@ -201,5 +209,15 @@ func (m *metrics) render(w io.Writer, liveSessions, cachedEngines int, fleets []
 			func(st oic.FleetStats) float64 { return st.ReclaimedRatio })
 		fleetGaugeF("oicd_fleet_pressure", "last tick's forced computes / compute budget",
 			func(st oic.FleetStats) float64 { return st.Pressure })
+		fleetGaugeF("oicd_fleet_budget", "live per-tick compute budget (elastic fleets retune it every tick)",
+			func(st oic.FleetStats) float64 { return float64(st.Budget) })
+		fleetGaugeF("oicd_fleet_effective_sessions", "elastic admission capacity in force (0 on static fleets)",
+			func(st oic.FleetStats) float64 { return float64(st.EffectiveMaxSessions) })
+		fleetCounterF("oicd_fleet_budget_raises_total", "elastic controller budget increases",
+			func(st oic.FleetStats) int64 { return st.BudgetRaises })
+		fleetCounterF("oicd_fleet_budget_lowers_total", "elastic controller budget decreases",
+			func(st oic.FleetStats) int64 { return st.BudgetLowers })
+		fleetCounterF("oicd_fleet_budget_floors_total", "elastic updates overridden by the forced-compute floor",
+			func(st oic.FleetStats) int64 { return st.BudgetFloors })
 	}
 }

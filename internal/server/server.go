@@ -62,6 +62,12 @@ type Config struct {
 	// it, steps fail with 409 trace_limit instead of growing server memory
 	// without bound. ≤ 0 means the default (maxTraceSteps, 100k).
 	TraceLimit int
+	// ElasticDefaults (the oicd -elastic flag) opts every fleet created
+	// with a tick deadline and a finite compute budget — but no explicit
+	// elastic config — into the elastic-budget controller with derived
+	// bounds: [budget/4, budget×4] regulating to TickDeadline/5. An
+	// explicit CreateFleetRequest.Elastic always wins.
+	ElasticDefaults bool
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 	// Logger receives structured request/operation logs; nil discards.
@@ -784,7 +790,8 @@ func statusAndCode(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "unsafe"
 	case errors.Is(err, oic.ErrInfeasible):
 		return http.StatusUnprocessableEntity, "infeasible"
-	case errors.As(err, &br), errors.Is(err, oic.ErrBadDimension), errors.Is(err, oic.ErrUnknownPolicy):
+	case errors.As(err, &br), errors.Is(err, oic.ErrBadDimension), errors.Is(err, oic.ErrUnknownPolicy),
+		errors.Is(err, oic.ErrBadConfig):
 		return http.StatusBadRequest, "bad_request"
 	default:
 		return http.StatusInternalServerError, "internal"

@@ -165,6 +165,69 @@ func BenchmarkFleetTick(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetTickElastic is BenchmarkFleetTick with the elastic-budget
+// controller in the loop: same 1000 ACC sessions, but every tick feeds
+// its measured deadline margin through the internal/budget PI law and
+// retunes the next tick's budget. The bounds are pinned Min = Max =
+// budget so both benchmarks schedule identical work and the ratio
+// prices exactly the regulation tax — Controller.Update plus the
+// admission-coupling recompute, O(1) arithmetic per tick — which the
+// CI gate holds within 1.05× of BenchmarkFleetTick.
+func BenchmarkFleetTickElastic(b *testing.B) {
+	e := accEngine(b)
+	const sessions, budget, traceLen = 1000, 96, 128
+	f, err := e.NewFleet(FleetConfig{
+		ComputeBudget: budget,
+		MaxSessions:   sessions,
+		TickDeadline:  100 * time.Millisecond,
+		Elastic:       &ElasticConfig{MinBudget: budget, MaxBudget: budget},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ids := make([]int, sessions)
+	traces := make([][][]float64, sessions)
+	for i := 0; i < sessions; i++ {
+		x0, w, err := e.DrawCase(int64(i+1), traceLen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ids[i], err = f.Admit(x0); err != nil {
+			b.Fatal(err)
+		}
+		traces[i] = w
+	}
+	ring := make([]map[int][]float64, traceLen)
+	for tk := 0; tk < traceLen; tk++ {
+		ws := make(map[int][]float64, sessions)
+		for i, id := range ids {
+			ws[id] = traces[i][tk]
+		}
+		ring[tk] = ws
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := f.Tick(ctx, ring[i%traceLen])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Violations != 0 {
+			b.Fatalf("tick %d: %d safety violations", i, rep.Violations)
+		}
+	}
+	b.StopTimer()
+	st := f.Stats()
+	b.ReportMetric(st.ReclaimedRatio, "reclaimed-ratio")
+	b.ReportMetric(float64(st.Budget), "final-budget")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*sessions), "ns/session-step")
+	if st.Violations != 0 {
+		b.Fatalf("%d violations across %d ticks", st.Violations, st.Ticks)
+	}
+}
+
 // BenchmarkFleetTickJournaled is BenchmarkFleetTick with oicd's crash
 // journaling on at the production fleet policy (sync=tick): every member
 // step appends a TypeFleetStep record through the fleet step hook and

@@ -34,6 +34,11 @@ var (
 	// for the plant.
 	ErrBadDimension = errors.New("oic: wrong vector dimension")
 
+	// ErrBadConfig: a configuration is internally inconsistent (e.g.
+	// FleetConfig.Elastic without a TickDeadline, or inverted budget
+	// bounds).
+	ErrBadConfig = errors.New("oic: bad configuration")
+
 	// ErrFleetClosed: the fleet was closed and refuses every operation.
 	ErrFleetClosed = errors.New("oic: fleet closed")
 	// ErrFleetFull: admission control rejected the session — the fleet is

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"oic/internal/budget"
 	"oic/internal/core"
 	"oic/internal/fault"
 	"oic/internal/mat"
@@ -42,6 +43,26 @@ type FleetConfig struct {
 	// optional computes with skip budget left shed into safe skips
 	// (counted in TickReport.Degraded). 0 means no deadline.
 	TickDeadline time.Duration `json:"tick_deadline_ns,omitempty"`
+	// Elastic turns the compute budget into a control variable: after
+	// every tick a deterministic PI controller (internal/budget,
+	// DESIGN.md §13) retunes the budget from the measured DeadlineMargin,
+	// and admission capacity scales with reclaimed ratio and pressure.
+	// Requires TickDeadline > 0 (the margin is the loop's input). Nil
+	// keeps the budget static.
+	Elastic *ElasticConfig `json:"elastic,omitempty"`
+}
+
+// ElasticConfig bounds the elastic-budget controller of FleetConfig.
+type ElasticConfig struct {
+	// MinBudget and MaxBudget bound the per-tick compute budget the
+	// controller may set. MinBudget ≤ 0 defaults to 1; MaxBudget must be
+	// ≥ MinBudget. The forced-compute floor may exceed MaxBudget
+	// transiently — safety outranks the cap.
+	MinBudget int `json:"min_budget,omitempty"`
+	MaxBudget int `json:"max_budget"`
+	// TargetMargin is the deadline margin the controller regulates to;
+	// ≤ 0 defaults to TickDeadline/5.
+	TargetMargin time.Duration `json:"target_margin_ns,omitempty"`
 }
 
 // DefaultFleetSessions is the MaxSessions default.
@@ -76,10 +97,18 @@ type Fleet struct {
 
 	hook func(member int, ev StepEvent) // write-ahead journaling hook; nil unless SetStepHook
 
-	lastForced int // backpressure signal: forced computes last tick
-	tickTime   time.Duration
-	violBase   int // violations carried over from evicted members
-	stats      FleetStats
+	// budget is the live per-tick compute budget — per-tick state, not
+	// frozen config. Static fleets keep it at cfg.ComputeBudget; elastic
+	// fleets retune it every tick (and SetComputeBudget retunes either).
+	budget int
+	ctrl   *budget.Controller // elastic loop; nil unless cfg.Elastic
+	effMax int                // elastic admission capacity; cfg.MaxSessions when static
+
+	lastForced  int // backpressure signal: forced computes last tick
+	tickTime    time.Duration
+	budgetTicks int64 // Σ per-tick budgets across ticks (utilization denominator)
+	violBase    int   // violations carried over from evicted members
+	stats       FleetStats
 }
 
 // fleetMember adapts one core session to sched.Member. The staged
@@ -136,18 +165,76 @@ func (e *Engine) NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultFleetSessions
 	}
-	return &Fleet{
-		eng: e,
-		cfg: cfg,
-		sb:  sb,
-		sch: sched.New(sched.Config{
-			ComputeBudget: cfg.ComputeBudget,
-			Workers:       cfg.Workers,
-			TickDeadline:  cfg.TickDeadline,
-		}),
-		zero: make(mat.Vec, e.NX()),
-		byID: map[int]int{},
-	}, nil
+	var ctrl *budget.Controller
+	if el := cfg.Elastic; el != nil {
+		if cfg.TickDeadline <= 0 {
+			return nil, fmt.Errorf("oic: NewFleet: %w: Elastic requires TickDeadline > 0", ErrBadConfig)
+		}
+		norm := *el
+		if norm.MinBudget <= 0 {
+			norm.MinBudget = 1
+		}
+		if norm.MaxBudget < norm.MinBudget {
+			return nil, fmt.Errorf("oic: NewFleet: %w: Elastic.MaxBudget %d < MinBudget %d",
+				ErrBadConfig, norm.MaxBudget, norm.MinBudget)
+		}
+		if norm.TargetMargin <= 0 {
+			norm.TargetMargin = cfg.TickDeadline / 5
+		}
+		if norm.TargetMargin >= cfg.TickDeadline {
+			return nil, fmt.Errorf("oic: NewFleet: %w: Elastic.TargetMargin %v ≥ TickDeadline %v",
+				ErrBadConfig, norm.TargetMargin, cfg.TickDeadline)
+		}
+		cfg.Elastic = &norm
+		initial := cfg.ComputeBudget
+		if initial <= 0 {
+			initial = norm.MaxBudget // unlimited makes no sense elastically: start wide open
+		}
+		ctrl = budget.New(budget.Config{
+			Min: norm.MinBudget, Max: norm.MaxBudget, Target: norm.TargetMargin,
+		}, initial)
+	}
+	f := &Fleet{
+		eng:    e,
+		cfg:    cfg,
+		sb:     sb,
+		ctrl:   ctrl,
+		budget: cfg.ComputeBudget,
+		effMax: cfg.MaxSessions,
+		zero:   make(mat.Vec, e.NX()),
+		byID:   map[int]int{},
+	}
+	if ctrl != nil {
+		f.budget = ctrl.Budget()
+	}
+	f.sch = sched.New(sched.Config{
+		ComputeBudget: f.budget,
+		Workers:       cfg.Workers,
+		TickDeadline:  cfg.TickDeadline,
+	})
+	return f, nil
+}
+
+// SetComputeBudget retunes the per-tick compute budget; it applies from
+// the next Tick. On an elastic fleet the controller re-seeds at the new
+// value (clamped into [MinBudget, MaxBudget]) and keeps regulating from
+// there — the out-of-band override an operator or autoscaler uses.
+func (f *Fleet) SetComputeBudget(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ctrl != nil {
+		f.ctrl.Set(n)
+		n = f.ctrl.Budget()
+	}
+	f.budget = n
+	f.sch.SetComputeBudget(n)
+}
+
+// ComputeBudget returns the live per-tick compute budget.
+func (f *Fleet) ComputeBudget() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.budget
 }
 
 // SetFaults installs (or clears, with nil) a deterministic fault injector
@@ -158,7 +245,7 @@ func (f *Fleet) SetFaults(inj *fault.Injector) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.sch = sched.New(sched.Config{
-		ComputeBudget: f.cfg.ComputeBudget,
+		ComputeBudget: f.budget, // carry the live (possibly retuned) budget
 		Workers:       f.cfg.Workers,
 		TickDeadline:  f.cfg.TickDeadline,
 		Faults:        inj,
@@ -180,11 +267,11 @@ func (f *Fleet) Admit(x0 []float64) (int, error) {
 	if f.closed {
 		return 0, ErrFleetClosed
 	}
-	if len(f.members) >= f.cfg.MaxSessions {
+	if len(f.members) >= f.capLocked() {
 		f.stats.Rejected++
 		return 0, ErrFleetFull
 	}
-	if f.cfg.ComputeBudget > 0 && f.lastForced >= f.cfg.ComputeBudget {
+	if f.budget > 0 && f.lastForced >= f.budget {
 		f.stats.Rejected++
 		return 0, ErrFleetOverloaded
 	}
@@ -225,6 +312,15 @@ func (f *Fleet) Evict(id int) error {
 	return nil
 }
 
+// capLocked is the admission capacity in force: the elastic effective
+// MaxSessions when a controller runs, the configured cap otherwise.
+func (f *Fleet) capLocked() int {
+	if f.ctrl != nil {
+		return f.effMax
+	}
+	return f.cfg.MaxSessions
+}
+
 // removeLocked releases the member at idx and compacts the roster,
 // preserving admission order.
 func (f *Fleet) removeLocked(idx int) {
@@ -236,6 +332,13 @@ func (f *Fleet) removeLocked(idx int) {
 	f.roster = append(f.roster[:idx], f.roster[idx+1:]...)
 	for i := idx; i < len(f.members); i++ {
 		f.byID[f.members[i].id] = i
+	}
+	// Decay the backpressure signal with the population: lastForced is a
+	// per-tick census, and forced computes cannot outnumber members, so a
+	// mass eviction must not leave a drained fleet refusing admits on a
+	// stale saturation reading until the next tick.
+	if f.lastForced > len(f.members) {
+		f.lastForced = len(f.members)
 	}
 }
 
@@ -283,8 +386,16 @@ type TickReport struct {
 	Elapsed time.Duration `json:"elapsed_ns"` // wall time of the whole tick
 	// DeadlineMargin is TickDeadline − Elapsed for deadline-bearing fleets
 	// (zero when no deadline is configured). Negative means the tick
-	// overran — the raw signal an elastic-budget controller regulates on.
+	// overran — the raw signal the elastic-budget controller regulates on.
 	DeadlineMargin time.Duration `json:"deadline_margin_ns,omitempty"`
+
+	// NextBudget is the compute budget the elastic controller set for the
+	// next tick; zero on static fleets (Budget reports the budget this
+	// tick ran under).
+	NextBudget int `json:"next_budget,omitempty"`
+	// EffectiveMaxSessions is the elastic admission capacity after this
+	// tick (budget.Sessions coupling); zero on static fleets.
+	EffectiveMaxSessions int `json:"effective_max_sessions,omitempty"`
 }
 
 // Tick advances every member one control period. ws carries this tick's
@@ -323,7 +434,9 @@ func (f *Fleet) Tick(ctx context.Context, ws map[int][]float64) (TickReport, err
 		}
 	}
 
-	st, err := f.sch.Tick(ctx, f.roster)
+	// TickFrom shares this tick's start with the scheduler so the shedding
+	// deadline and the reported DeadlineMargin use one clock origin.
+	st, err := f.sch.TickFrom(ctx, f.roster, start)
 	if err != nil {
 		return TickReport{}, err
 	}
@@ -331,13 +444,13 @@ func (f *Fleet) Tick(ctx context.Context, ws map[int][]float64) (TickReport, err
 	rep := TickReport{
 		Tick:     f.stats.Ticks,
 		Sessions: st.Members,
-		Budget:   f.cfg.ComputeBudget,
+		Budget:   f.budget,
 		Skips:    st.Skips, Computes: st.Computes, Forced: st.Forced,
 		Shed: st.Shed, Overrun: st.Overrun, Degraded: st.Degraded,
 		ShedBudgetMin: st.ShedBudgetMin,
 	}
-	if f.cfg.ComputeBudget > 0 {
-		rep.Utilization = float64(st.Computes) / float64(f.cfg.ComputeBudget)
+	if f.budget > 0 {
+		rep.Utilization = float64(st.Computes) / float64(f.budget)
 	}
 	if st.Members > 0 {
 		rep.ReclaimedRatio = float64(st.Skips+st.Shed) / float64(st.Members)
@@ -363,6 +476,9 @@ func (f *Fleet) Tick(ctx context.Context, ws map[int][]float64) (TickReport, err
 	rep.Violations = f.violationsLocked()
 
 	f.lastForced = st.Forced
+	if f.budget > 0 {
+		f.budgetTicks += int64(f.budget)
+	}
 	f.stats.Ticks++
 	f.stats.Steps += int64(st.Members)
 	f.stats.Skips += int64(st.Skips)
@@ -376,6 +492,22 @@ func (f *Fleet) Tick(ctx context.Context, ws map[int][]float64) (TickReport, err
 		rep.DeadlineMargin = f.cfg.TickDeadline - rep.Elapsed
 	}
 	f.tickTime += rep.Elapsed
+
+	// The elastic loop closes here: the tick's measured margin and forced
+	// demand feed the PI controller, whose output becomes the next tick's
+	// budget; the admission side scales capacity from the same evidence.
+	if f.ctrl != nil {
+		next := f.ctrl.Update(budget.Input{Margin: rep.DeadlineMargin, Forced: st.Forced})
+		f.budget = next
+		f.sch.SetComputeBudget(next)
+		rep.NextBudget = next
+		pressure := 0.0
+		if next > 0 {
+			pressure = float64(st.Forced) / float64(next)
+		}
+		f.effMax = budget.Sessions(f.cfg.MaxSessions, rep.ReclaimedRatio, pressure)
+		rep.EffectiveMaxSessions = f.effMax
+	}
 	return rep, nil
 }
 
@@ -394,10 +526,10 @@ func (f *Fleet) violationsLocked() int {
 func (f *Fleet) Pressure() float64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.cfg.ComputeBudget <= 0 {
+	if f.budget <= 0 {
 		return 0
 	}
-	return float64(f.lastForced) / float64(f.cfg.ComputeBudget)
+	return float64(f.lastForced) / float64(f.budget)
 }
 
 // Size returns the number of live members.
@@ -486,8 +618,20 @@ type FleetStats struct {
 	Policy      string `json:"policy"`
 	Sessions    int    `json:"sessions"`
 	MaxSessions int    `json:"max_sessions"`
-	Budget      int    `json:"compute_budget,omitempty"`
-	Workers     int    `json:"workers,omitempty"`
+	// Budget is the live per-tick compute budget: the configured value on
+	// a static fleet, the controller's current output on an elastic one.
+	Budget  int `json:"compute_budget,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// EffectiveMaxSessions is the elastic admission capacity in force
+	// (MaxSessions scaled by reclaimed ratio and pressure); omitted on
+	// static fleets.
+	EffectiveMaxSessions int `json:"effective_max_sessions,omitempty"`
+	// BudgetRaises/Lowers/Floors count elastic-controller decisions:
+	// budget increases, decreases, and forced-floor overrides. All zero
+	// on static fleets.
+	BudgetRaises int64 `json:"budget_raises,omitempty"`
+	BudgetLowers int64 `json:"budget_lowers,omitempty"`
+	BudgetFloors int64 `json:"budget_floors,omitempty"`
 
 	Ticks    int   `json:"ticks"`
 	Steps    int64 `json:"steps"`
@@ -529,12 +673,19 @@ func (f *Fleet) statsLocked() FleetStats {
 	st.Policy = f.eng.PolicyName()
 	st.Sessions = len(f.members)
 	st.MaxSessions = f.cfg.MaxSessions
-	st.Budget = f.cfg.ComputeBudget
+	st.Budget = f.budget
 	st.Workers = f.cfg.Workers
+	if f.ctrl != nil {
+		st.EffectiveMaxSessions = f.effMax
+		cs := f.ctrl.Stats()
+		st.BudgetRaises, st.BudgetLowers, st.BudgetFloors = cs.Raises, cs.Lowers, cs.Floors
+	}
 	st.Violations = f.violationsLocked()
-	if f.cfg.ComputeBudget > 0 && st.Ticks > 0 {
-		st.Utilization = float64(st.Computes) / float64(int64(st.Ticks)*int64(f.cfg.ComputeBudget))
-		st.Pressure = float64(f.lastForced) / float64(f.cfg.ComputeBudget)
+	if f.budgetTicks > 0 {
+		st.Utilization = float64(st.Computes) / float64(f.budgetTicks)
+	}
+	if f.budget > 0 {
+		st.Pressure = float64(f.lastForced) / float64(f.budget)
 	}
 	if st.Steps > 0 {
 		st.ReclaimedRatio = float64(st.Skips+st.Shed) / float64(st.Steps)

@@ -121,6 +121,15 @@ type CreateFleetRequest struct {
 	Degrade      bool          `json:"degrade,omitempty"`
 	TickDeadline time.Duration `json:"tick_deadline_ns,omitempty"`
 
+	// Elastic maps to FleetConfig.Elastic: the deadline-margin budget
+	// controller. Requires tick_deadline_ns > 0. Like Degrade/TickDeadline
+	// it is a runtime knob, not journaled — a fleet recreated by journal
+	// recovery comes back static (replay re-executes recorded choices, so
+	// no budget history is needed) and must be re-requested elastic. A
+	// server started with -elastic applies default bounds to any
+	// deadline-bearing, budget-bearing fleet that omits this field.
+	Elastic *ElasticConfig `json:"elastic,omitempty"`
+
 	// Trace records every member's episode (FleetConfig.Trace, capped at
 	// the server's trace limit), read back via
 	// GET /v1/fleets/{id}/sessions/{mid}/trace — the export side of
